@@ -1,0 +1,163 @@
+package sita
+
+import (
+	"fmt"
+	"testing"
+
+	"sita/internal/experiment"
+	"sita/internal/policy"
+	"sita/internal/queueing"
+	"sita/internal/server"
+)
+
+// The benchmarks below regenerate every table and figure of the paper at a
+// reduced-but-representative scale (the paper-scale runs are driven by
+// cmd/sweep). One benchmark per experiment: BenchmarkTable1,
+// BenchmarkFigure2 ... BenchmarkFigure13, plus the ablation drivers and
+// micro-benchmarks of the hot paths.
+
+// benchConfig trims the trace so a full -bench=. run finishes in minutes.
+func benchConfig() experiment.Config {
+	cfg := experiment.Default()
+	cfg.Jobs = 20000
+	return cfg
+}
+
+func benchExperiment(b *testing.B, id string) {
+	cfg := benchConfig()
+	driver := experiment.Drivers()[id]
+	if driver == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := driver(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no output tables")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkFigure2(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFigure3(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFigure4(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFigure5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFigure9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFigure13(b *testing.B) { benchExperiment(b, "fig13") }
+
+func BenchmarkCutoffSensitivity(b *testing.B) { benchExperiment(b, "cutoff-sensitivity") }
+func BenchmarkMisclassification(b *testing.B) { benchExperiment(b, "misclassification") }
+func BenchmarkBurstiness(b *testing.B)        { benchExperiment(b, "burstiness") }
+func BenchmarkMultiCutoff(b *testing.B)       { benchExperiment(b, "multi-cutoff") }
+func BenchmarkFairnessProfile(b *testing.B)   { benchExperiment(b, "fairness-profile") }
+
+// BenchmarkSimulatorThroughput measures raw simulated jobs/second per
+// policy — the cost of one dispatch + service cycle through the event
+// engine.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	wl, err := LoadWorkload("psc-c90", 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := wl.JobsAtLoad(0.7, 4, true, 9)
+	design, err := NewDesign(SITAUFair, 0.7, wl.Size, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		build func() Policy
+	}{
+		{"Random", func() Policy { return policy.NewRandom(NewRNG(9, 50)) }},
+		{"LeastWorkLeft", func() Policy { return policy.NewLeastWorkLeft() }},
+		{"CentralQueue", func() Policy { return policy.NewCentralQueue() }},
+		{"SITA-U-fair", func() Policy { return design.Policy() }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := server.Run(jobs, server.Config{Hosts: 4, Policy: c.build()})
+				if res.Slowdown.Count() == 0 {
+					b.Fatal("no jobs completed")
+				}
+			}
+			b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkCutoffSearch measures the analytic cutoff optimizers, the
+// expensive step of deploying SITA-U.
+func BenchmarkCutoffSearch(b *testing.B) {
+	wl, err := LoadWorkload("psc-c90", 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lambda := 2 * 0.7 / wl.Size.Moment(1)
+	b.Run("SITA-E", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			queueing.EqualLoadCutoff(wl.Size)
+		}
+	})
+	b.Run("SITA-U-opt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := queueing.OptimalCutoff(lambda, wl.Size); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("SITA-U-fair", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := queueing.FairCutoff(lambda, wl.Size); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, h := range []int{4, 8} {
+		b.Run(fmt.Sprintf("multi-opt-h%d", h), func(b *testing.B) {
+			lam := float64(h) * 0.7 / wl.Size.Moment(1)
+			for i := 0; i < b.N; i++ {
+				if _, err := queueing.OptimalCutoffs(lam, wl.Size, h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMG1Analysis measures a single Pollaczek-Khinchine evaluation —
+// the inner loop of every cutoff search.
+func BenchmarkMG1Analysis(b *testing.B) {
+	wl, err := LoadWorkload("psc-c90", 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lambda := 2 * 0.7 / wl.Size.Moment(1)
+	cut := queueing.EqualLoadCutoff(wl.Size)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := queueing.NewSITA(lambda, wl.Size, []float64{cut}).Analyze()
+		if r.MeanSlowdown <= 1 {
+			b.Fatal("bogus analysis")
+		}
+	}
+}
+
+func BenchmarkTAGS(b *testing.B)             { benchExperiment(b, "tags") }
+func BenchmarkTailLatency(b *testing.B)      { benchExperiment(b, "tail-latency") }
+func BenchmarkDerivation(b *testing.B)       { benchExperiment(b, "derivation") }
+func BenchmarkSJF(b *testing.B)              { benchExperiment(b, "sjf") }
+func BenchmarkEstimateNoise(b *testing.B)    { benchExperiment(b, "estimate-noise") }
+func BenchmarkResponseTime(b *testing.B)     { benchExperiment(b, "response-time") }
+func BenchmarkVarianceAnalysis(b *testing.B) { benchExperiment(b, "variance-analysis") }

@@ -1,0 +1,127 @@
+// Command advisor is the operator-facing capstone: given a workload (a
+// built-in profile or a real SWF log), a host count and a system load, it
+// characterizes the workload, predicts every policy's performance,
+// recommends a task assignment design, and verifies the recommendation by
+// simulation.
+//
+// Usage:
+//
+//	advisor -profile psc-c90 -load 0.7
+//	advisor -in mylog.swf -hosts 4 -load 0.6 -slo 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"sita"
+	"sita/internal/core"
+	"sita/internal/dist"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "psc-c90", "workload profile")
+		in      = flag.String("in", "", "characterize this SWF log instead of a built-in profile")
+		hosts   = flag.Int("hosts", 2, "number of hosts")
+		load    = flag.Float64("load", 0.7, "system load in (0,1)")
+		slo     = flag.Float64("slo", 0, "mean-slowdown objective (0 = none); reported against the recommendation")
+		jobs    = flag.Int("jobs", 30000, "jobs for the verification simulation")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var wl *sita.Workload
+	var err error
+	if *in != "" {
+		wl, err = sita.WorkloadFromSWF(*in)
+	} else {
+		wl, err = sita.LoadWorkload(*profile, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	// 1. Characterize.
+	st := wl.Trace.ComputeStats()
+	scv := dist.SquaredCV(wl.Size)
+	fmt.Printf("workload %s\n", wl.Profile.Name)
+	fmt.Printf("  %d jobs, mean %.0fs, range [%.0fs, %.0fs]\n", st.Jobs, st.Mean, st.Min, st.Max)
+	fmt.Printf("  size C^2 = %.1f (fitted Bounded Pareto alpha = %.2f)\n", scv, wl.Size.Alpha)
+	tail := wl.Size.LoadCutoff(0.5)
+	fmt.Printf("  heavy tail: the biggest %.2f%% of jobs carry half the load (cutoff %.0fs)\n",
+		100*(1-wl.Size.CDF(tail)), tail)
+
+	// 2. Predict every policy (2-host closed forms; simulation covers the
+	//    configured host count below).
+	fmt.Printf("\nanalytic predictions (2 hosts, load %.2f):\n", *load)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "  policy\tE[S]\tneeds job sizes?\n")
+	for _, name := range []string{"Random", "Round-Robin", "Least-Work-Left", "SITA-E", "SITA-U-fair", "SITA-U-opt"} {
+		v, err := sita.Predict(name, *load, wl.Size, 2)
+		if err != nil {
+			fmt.Fprintf(w, "  %s\t-\t\n", name)
+			continue
+		}
+		needs := "no"
+		switch name {
+		case "Least-Work-Left":
+			needs = "estimates"
+		case "SITA-E", "SITA-U-fair", "SITA-U-opt":
+			needs = "one cutoff"
+		}
+		fmt.Fprintf(w, "  %s\t%.1f\t%s\n", name, v, needs)
+	}
+	w.Flush()
+
+	// 3. Recommend: SITA-U-fair (the paper's bottom line — nearly optimal
+	//    *and* fair); fall back to SITA-U-opt if fairness derivation fails.
+	design, err := sita.NewDesign(sita.SITAUFair, *load, wl.Size, *hosts)
+	if err != nil {
+		design, err = sita.NewDesign(sita.SITAUOpt, *load, wl.Size, *hosts)
+	}
+	if err != nil {
+		fatal(fmt.Errorf("no feasible SITA design at load %v: %w", *load, err))
+	}
+	fmt.Printf("\nrecommendation: %s on %d hosts\n", design.Variant, *hosts)
+	fmt.Printf("  size cutoff: %.0fs (jobs up to this run on the short side: %d of %d hosts)\n",
+		design.Cutoff, design.ShortHosts, *hosts)
+	fmt.Printf("  short side carries %.0f%% of the load (rule of thumb: %.0f%%)\n",
+		100*design.ShortLoadFraction(), 100*core.RuleOfThumbFraction(*load))
+
+	// 4. Verify by simulation on the configured host count.
+	sim := wl.JobsAtLoad(*load, *hosts, true, *seed)
+	if *jobs > 0 && *jobs < len(sim) {
+		sim = sim[:*jobs]
+	}
+	res := sita.SimulateOpts(design.Policy(), sim, *hosts, sita.SimOptions{
+		Warmup:    0.1,
+		SizeClass: design.Classify,
+	})
+	fmt.Printf("\nverification (simulated %d jobs on %d hosts):\n", len(sim), *hosts)
+	fmt.Printf("  mean slowdown %.1f, variance %.3g, p-max %.0f\n",
+		res.Slowdown.Mean(), res.Slowdown.Variance(), res.Slowdown.Max())
+	if audit, err := design.Audit(res); err == nil {
+		fmt.Printf("  fairness: short jobs E[S] = %.1f, long jobs E[S] = %.1f\n",
+			audit.ShortMean, audit.LongMean)
+	}
+	baseline := sita.SimulateOpts(sita.NewLeastWorkLeftPolicy(), sim, *hosts, sita.SimOptions{Warmup: 0.1})
+	fmt.Printf("  vs Least-Work-Left: %.1f (%.1fx better)\n",
+		baseline.Slowdown.Mean(), baseline.Slowdown.Mean()/res.Slowdown.Mean())
+
+	if *slo > 0 {
+		verdict := "MEETS"
+		if res.Slowdown.Mean() > *slo {
+			verdict = "MISSES"
+		}
+		fmt.Printf("\nSLO: mean slowdown <= %.0f -> recommendation %s the objective (measured %.1f)\n",
+			*slo, verdict, res.Slowdown.Mean())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "advisor:", err)
+	os.Exit(1)
+}

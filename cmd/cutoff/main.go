@@ -1,0 +1,103 @@
+// Command cutoff derives SITA size cutoffs for a workload and prints the
+// analytic performance prediction for each variant: the tool an operator
+// would run before configuring a duration-partitioned distributed server.
+//
+// Usage:
+//
+//	cutoff -profile psc-c90 -load 0.7            # all variants, 2 hosts
+//	cutoff -profile psc-c90 -load 0.7 -hosts 8   # full multi-cutoff vectors
+//	cutoff -in mylog.swf -load 0.5               # from a real SWF log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"sita"
+	"sita/internal/core"
+	"sita/internal/queueing"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "psc-c90", "workload profile")
+		in      = flag.String("in", "", "derive from this SWF file instead of a built-in profile")
+		load    = flag.Float64("load", 0.7, "system load in (0,1)")
+		hosts   = flag.Int("hosts", 2, "number of hosts")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var wl *sita.Workload
+	var err error
+	if *in != "" {
+		wl, err = sita.WorkloadFromSWF(*in)
+	} else {
+		wl, err = sita.LoadWorkload(*profile, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload %s: mean %.1fs, support [%.1f, %.0f], C^2 %.1f\n",
+		wl.Profile.Name, wl.Size.Moment(1), wl.Size.K, wl.Size.P, scv(wl))
+	fmt.Printf("system: %d hosts at load %.2f\n\n", *hosts, *load)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "variant\tcutoff(s)\tshort-load frac\tpredicted E[S]\tpredicted Var[S]\thost loads\n")
+	for _, v := range core.Variants() {
+		d, err := sita.NewDesign(v, *load, wl.Size, 2)
+		if err != nil {
+			fmt.Fprintf(w, "%s\t-\t-\t-\t-\t%v\n", v, err)
+			continue
+		}
+		loads := make([]string, len(d.Predicted.Hosts))
+		for i, h := range d.Predicted.Hosts {
+			loads[i] = fmt.Sprintf("%.3f", h.Load)
+		}
+		fmt.Fprintf(w, "%s\t%.1f\t%.3f\t%.2f\t%.3g\t%s\n",
+			v, d.Cutoff, d.ShortLoadFraction(),
+			d.Predicted.MeanSlowdown, d.Predicted.VarSlowdown,
+			strings.Join(loads, " "))
+	}
+	w.Flush()
+
+	if *hosts > 2 {
+		lambda := float64(*hosts) * *load / wl.Size.Moment(1)
+		fmt.Printf("\nfull multi-cutoff vectors for %d hosts (the search the paper calls too expensive):\n", *hosts)
+		if cuts := queueing.EqualLoadCutoffs(wl.Size, *hosts); len(cuts) > 0 {
+			fmt.Printf("  SITA-E      %v\n", round(cuts))
+		}
+		if cuts, err := queueing.OptimalCutoffs(lambda, wl.Size, *hosts); err == nil {
+			fmt.Printf("  SITA-U-opt  %v\n", round(cuts))
+		} else {
+			fmt.Printf("  SITA-U-opt  %v\n", err)
+		}
+		if cuts, err := queueing.FairCutoffs(lambda, wl.Size, *hosts); err == nil {
+			fmt.Printf("  SITA-U-fair %v\n", round(cuts))
+		} else {
+			fmt.Printf("  SITA-U-fair %v\n", err)
+		}
+	}
+}
+
+func scv(wl *sita.Workload) float64 {
+	m1, m2 := wl.Size.Moment(1), wl.Size.Moment(2)
+	return m2/(m1*m1) - 1
+}
+
+func round(cuts []float64) []string {
+	out := make([]string, len(cuts))
+	for i, c := range cuts {
+		out[i] = fmt.Sprintf("%.1f", c)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cutoff:", err)
+	os.Exit(1)
+}

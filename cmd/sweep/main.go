@@ -1,0 +1,118 @@
+// Command sweep regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sweep -exp fig4                 # one experiment, text tables on stdout
+//	sweep -exp all -out results/    # everything, one .txt + .csv per table
+//	sweep -exp fig2 -profile psc-j90 -jobs 30000 -loads 0.3,0.5,0.7
+//
+// Experiment ids: table1, fig2..fig13, cutoff-sensitivity,
+// misclassification, burstiness, multi-cutoff, fairness-profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"sita/internal/experiment"
+	"sita/internal/trace"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id or 'all'")
+		profile = flag.String("profile", "psc-c90", "workload profile (psc-c90, psc-j90, ctc-sp2)")
+		jobs    = flag.Int("jobs", 0, "cap on trace length per point (0 = profile default)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		warmup  = flag.Float64("warmup", 0.1, "warmup fraction excluded from statistics")
+		loads   = flag.String("loads", "", "comma-separated system loads (default per experiment)")
+		outDir  = flag.String("out", "", "directory for .txt and .csv outputs (default: stdout only)")
+		csvOnly = flag.Bool("csv", false, "print CSV instead of aligned text")
+		asPlot  = flag.Bool("plot", false, "print ASCII line charts (log-y) instead of tables")
+		reps    = flag.Int("rep", 1, "number of replications (different seeds); > 1 reports mean and 95% CI tables")
+	)
+	flag.Parse()
+
+	cfg := experiment.Default()
+	p, err := trace.ByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Profile = p
+	cfg.Jobs = *jobs
+	cfg.Seed = *seed
+	cfg.Warmup = *warmup
+	if *loads != "" {
+		cfg.Loads = nil
+		for _, s := range strings.Split(*loads, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad load %q: %w", s, err))
+			}
+			cfg.Loads = append(cfg.Loads, v)
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiment.IDs()
+	}
+	drivers := experiment.Drivers()
+	for _, id := range ids {
+		driver, ok := drivers[id]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (have: %s)", id, strings.Join(experiment.IDs(), ", ")))
+		}
+		start := time.Now()
+		var tables []experiment.Table
+		var err error
+		if *reps > 1 {
+			seeds := make([]uint64, *reps)
+			for i := range seeds {
+				seeds[i] = cfg.Seed + uint64(i)
+			}
+			tables, err = experiment.Replicate(driver, cfg, seeds)
+		} else {
+			tables, err = driver(cfg)
+		}
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		fmt.Fprintf(os.Stderr, "# %s finished in %v\n", id, time.Since(start).Round(time.Millisecond))
+		for _, t := range tables {
+			switch {
+			case *asPlot:
+				fmt.Println(t.Plot(true))
+			case *csvOnly:
+				fmt.Print(t.CSV())
+			default:
+				fmt.Println(t.Format())
+			}
+			if *outDir != "" {
+				if err := writeOutputs(*outDir, t); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func writeOutputs(dir string, t experiment.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, t.ID+".txt"), []byte(t.Format()), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, t.ID+".csv"), []byte(t.CSV()), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command tracegen synthesizes supercomputing job traces calibrated to the
+// paper's workloads and writes them in Standard Workload Format, or prints
+// the Table-1 characterization of an existing SWF file.
+//
+// Usage:
+//
+//	tracegen -profile psc-c90 -o c90.swf        # generate + write SWF
+//	tracegen -profile ctc-sp2 -jobs 10000 -stats # generate + characterize
+//	tracegen -in some-archive-log.swf -stats     # characterize a real log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"sita/internal/trace"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "psc-c90", "workload profile to synthesize")
+		jobs    = flag.Int("jobs", 0, "number of jobs (0 = profile default)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output SWF path (default: none)")
+		in      = flag.String("in", "", "characterize this SWF file instead of generating")
+		stats   = flag.Bool("stats", false, "print the Table-1 characterization row")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = trace.ReadSWF(*in, f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		p, err := trace.ByName(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		if *jobs > 0 {
+			p.Jobs = *jobs
+		}
+		tr, err = trace.Generate(p, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *stats || *out == "" {
+		printStats(tr)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteSWF(tr, f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d jobs to %s\n", tr.Len(), *out)
+	}
+}
+
+func printStats(tr *trace.Trace) {
+	st := tr.ComputeStats()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "trace\tjobs\tmean(s)\tmin(s)\tmax(s)\tC^2\ttail@halfload\tgap C^2\n")
+	fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.4f\t%.1f\n",
+		st.Name, st.Jobs, st.Mean, st.Min, st.Max, st.SquaredCV, st.TailJobFraction, st.GapSCV)
+	w.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

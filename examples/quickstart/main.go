@@ -1,0 +1,63 @@
+// Quickstart: load a calibrated supercomputing workload, derive the paper's
+// fair load-unbalancing policy (SITA-U-fair), and compare it against
+// equal-load assignment (SITA-E) by simulation.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sita"
+)
+
+func main() {
+	// 1. Workload: a synthetic reconstruction of the PSC Cray C90 log —
+	//    heavy-tailed job sizes where ~1% of jobs carry half the work.
+	wl, err := sita.LoadWorkload("psc-c90", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d jobs, mean service %.0fs\n",
+		wl.Profile.Name, wl.Trace.Len(), wl.Size.Moment(1))
+
+	// 2. Design: derive the SITA-U-fair size cutoff for a 2-host server at
+	//    system load 0.7. The design carries an analytic prediction.
+	const load, hosts = 0.7, 2
+	fair, err := sita.NewDesign(sita.SITAUFair, load, wl.Size, hosts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SITA-U-fair cutoff: %.0fs (short host gets %.0f%% of the load)\n",
+		fair.Cutoff, 100*fair.ShortLoadFraction())
+	fmt.Printf("analytic prediction: mean slowdown %.1f\n", fair.Predicted.MeanSlowdown)
+
+	// 3. Simulate: re-time the trace to load 0.7 with Poisson arrivals and
+	//    push it through the distributed-server simulator.
+	jobs := wl.JobsAtLoad(load, hosts, true, 42)
+	resFair := sita.SimulateOpts(fair.Policy(), jobs, hosts, sita.SimOptions{
+		Warmup:    0.1,
+		SizeClass: fair.Classify,
+	})
+
+	// 4. Baseline: the best load-balancing policy, SITA-E.
+	equal, err := sita.NewDesign(sita.SITAE, load, wl.Size, hosts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resEqual := sita.SimulateOpts(equal.Policy(), jobs, hosts, sita.SimOptions{Warmup: 0.1})
+
+	fmt.Printf("\nsimulated mean slowdown:\n")
+	fmt.Printf("  SITA-E      %8.1f\n", resEqual.Slowdown.Mean())
+	fmt.Printf("  SITA-U-fair %8.1f   (%.1fx better)\n",
+		resFair.Slowdown.Mean(), resEqual.Slowdown.Mean()/resFair.Slowdown.Mean())
+
+	// 5. Fairness: short and long jobs should see comparable slowdown.
+	audit, err := fair.Audit(resFair)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfairness audit (SITA-U-fair): short jobs E[S]=%.1f, long jobs E[S]=%.1f\n",
+		audit.ShortMean, audit.LongMean)
+}

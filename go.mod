@@ -1,0 +1,3 @@
+module sita
+
+go 1.22

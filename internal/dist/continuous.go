@@ -1,0 +1,256 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Exponential is the exponential distribution with the given rate
+// (mean 1/Rate). Its squared coefficient of variation is exactly 1, making
+// it the light-tailed reference point in the paper's analysis.
+type Exponential struct {
+	Rate float64
+}
+
+// NewExponential builds an exponential distribution with the given mean.
+func NewExponential(mean float64) Exponential {
+	if mean <= 0 {
+		panic(fmt.Sprintf("dist: exponential mean must be positive, got %v", mean))
+	}
+	return Exponential{Rate: 1 / mean}
+}
+
+// Sample draws an exponential variate.
+func (e Exponential) Sample(rng *rand.Rand) float64 { return rng.ExpFloat64() / e.Rate }
+
+// CDF reports P(X <= x).
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-e.Rate*x)
+}
+
+// Moment reports E[X^j] = Gamma(j+1)/Rate^j, divergent for j <= -1.
+func (e Exponential) Moment(j float64) float64 {
+	if j <= -1 {
+		return math.Inf(1)
+	}
+	return math.Gamma(j+1) / math.Pow(e.Rate, j)
+}
+
+// Support reports (0, +Inf).
+func (e Exponential) Support() (float64, float64) { return 0, math.Inf(1) }
+
+// Quantile inverts the CDF.
+func (e Exponential) Quantile(p float64) float64 {
+	return -math.Log1p(-p) / e.Rate
+}
+
+// Deterministic is the degenerate distribution concentrated at Value.
+type Deterministic struct {
+	Value float64
+}
+
+// Sample returns Value.
+func (d Deterministic) Sample(*rand.Rand) float64 { return d.Value }
+
+// CDF is the unit step at Value.
+func (d Deterministic) CDF(x float64) float64 {
+	if x >= d.Value {
+		return 1
+	}
+	return 0
+}
+
+// Moment reports Value^j.
+func (d Deterministic) Moment(j float64) float64 { return math.Pow(d.Value, j) }
+
+// Support reports the single point.
+func (d Deterministic) Support() (float64, float64) { return d.Value, d.Value }
+
+// Quantile returns Value for every p.
+func (d Deterministic) Quantile(float64) float64 { return d.Value }
+
+// PartialMoment reports Value^j when Value lies in (a, b], else 0.
+func (d Deterministic) PartialMoment(j, a, b float64) float64 {
+	if d.Value > a && d.Value <= b {
+		return math.Pow(d.Value, j)
+	}
+	return 0
+}
+
+// Uniform is the continuous uniform distribution on [Lo, Hi].
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// NewUniform validates the bounds and returns the distribution.
+func NewUniform(lo, hi float64) Uniform {
+	if hi <= lo {
+		panic(fmt.Sprintf("dist: uniform needs lo < hi, got [%v, %v]", lo, hi))
+	}
+	return Uniform{Lo: lo, Hi: hi}
+}
+
+// Sample draws uniformly on [Lo, Hi].
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return u.Lo + rng.Float64()*(u.Hi-u.Lo)
+}
+
+// CDF reports P(X <= x).
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.Lo:
+		return 0
+	case x >= u.Hi:
+		return 1
+	default:
+		return (x - u.Lo) / (u.Hi - u.Lo)
+	}
+}
+
+// Moment reports E[X^j] = (Hi^{j+1} - Lo^{j+1}) / ((j+1)(Hi-Lo)) with the
+// logarithmic special case at j = -1. Moments with j <= -1 diverge when the
+// support touches zero.
+func (u Uniform) Moment(j float64) float64 {
+	if u.Lo <= 0 && j < 0 {
+		return math.Inf(1)
+	}
+	if j == -1 {
+		return math.Log(u.Hi/u.Lo) / (u.Hi - u.Lo)
+	}
+	return (math.Pow(u.Hi, j+1) - math.Pow(u.Lo, j+1)) / ((j + 1) * (u.Hi - u.Lo))
+}
+
+// Support reports [Lo, Hi].
+func (u Uniform) Support() (float64, float64) { return u.Lo, u.Hi }
+
+// Quantile inverts the CDF.
+func (u Uniform) Quantile(p float64) float64 { return u.Lo + p*(u.Hi-u.Lo) }
+
+// Lognormal is the distribution of exp(N(Mu, Sigma^2)). It is a convenient
+// bursty interarrival-time model: its squared coefficient of variation
+// exp(Sigma^2) - 1 can be dialed arbitrarily high.
+type Lognormal struct {
+	Mu, Sigma float64
+}
+
+// NewLognormalFromMeanSCV builds the lognormal with the given mean and
+// squared coefficient of variation.
+func NewLognormalFromMeanSCV(mean, scv float64) Lognormal {
+	if mean <= 0 || scv <= 0 {
+		panic(fmt.Sprintf("dist: lognormal needs positive mean and scv, got %v, %v", mean, scv))
+	}
+	sigma2 := math.Log(1 + scv)
+	mu := math.Log(mean) - sigma2/2
+	return Lognormal{Mu: mu, Sigma: math.Sqrt(sigma2)}
+}
+
+// Sample draws a lognormal variate.
+func (l Lognormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// CDF reports P(X <= x) via the error function.
+func (l Lognormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 0.5 * math.Erfc(-(math.Log(x)-l.Mu)/(l.Sigma*math.Sqrt2))
+}
+
+// Moment reports E[X^j] = exp(j*Mu + j^2*Sigma^2/2); finite for every j.
+func (l Lognormal) Moment(j float64) float64 {
+	return math.Exp(j*l.Mu + j*j*l.Sigma*l.Sigma/2)
+}
+
+// Support reports (0, +Inf).
+func (l Lognormal) Support() (float64, float64) { return 0, math.Inf(1) }
+
+// Quantile inverts the CDF via the normal quantile.
+func (l Lognormal) Quantile(p float64) float64 {
+	return math.Exp(l.Mu + l.Sigma*normQuantile(p))
+}
+
+// Weibull is the Weibull distribution with the given Shape and Scale.
+// Shape < 1 gives a heavy-ish tail, shape = 1 the exponential.
+type Weibull struct {
+	Shape, Scale float64
+}
+
+// Sample draws by inverse CDF.
+func (w Weibull) Sample(rng *rand.Rand) float64 {
+	return w.Quantile(rng.Float64())
+}
+
+// CDF reports P(X <= x).
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow(x/w.Scale, w.Shape))
+}
+
+// Moment reports E[X^j] = Scale^j * Gamma(1 + j/Shape), divergent for
+// j <= -Shape.
+func (w Weibull) Moment(j float64) float64 {
+	if j <= -w.Shape {
+		return math.Inf(1)
+	}
+	return math.Pow(w.Scale, j) * math.Gamma(1+j/w.Shape)
+}
+
+// Support reports (0, +Inf).
+func (w Weibull) Support() (float64, float64) { return 0, math.Inf(1) }
+
+// Quantile inverts the CDF.
+func (w Weibull) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return w.Scale * math.Pow(-math.Log1p(-p), 1/w.Shape)
+}
+
+// normQuantile is the Beasley-Springer-Moro inverse standard normal CDF.
+// Duplicated from internal/stats to keep dist dependency-free; both are
+// tested against each other.
+func normQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

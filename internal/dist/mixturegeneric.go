@@ -1,0 +1,136 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Mixture is a finite probabilistic mixture of arbitrary component
+// distributions: with probability Weights[i] a variate comes from
+// Components[i]. Real supercomputing workloads are often multimodal (a
+// spike of debug runs plus a production body plus an elephant tail); a
+// mixture models that directly while keeping moments and CDF exact.
+type Mixture struct {
+	Components []Distribution
+	Weights    []float64
+	cum        []float64
+}
+
+// NewMixture validates and normalizes the weights.
+func NewMixture(components []Distribution, weights []float64) *Mixture {
+	if len(components) == 0 || len(components) != len(weights) {
+		panic(fmt.Sprintf("dist: mixture needs matching non-empty components, got %d, %d",
+			len(components), len(weights)))
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("dist: mixture weight %d negative: %v", i, w))
+		}
+		if components[i] == nil {
+			panic(fmt.Sprintf("dist: mixture component %d nil", i))
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("dist: mixture weights sum to zero")
+	}
+	m := &Mixture{
+		Components: make([]Distribution, len(components)),
+		Weights:    make([]float64, len(weights)),
+		cum:        make([]float64, len(weights)),
+	}
+	copy(m.Components, components)
+	cum := 0.0
+	for i, w := range weights {
+		m.Weights[i] = w / total
+		cum += m.Weights[i]
+		m.cum[i] = cum
+	}
+	return m
+}
+
+// Sample picks a component, then samples it.
+func (m *Mixture) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	idx := sort.SearchFloat64s(m.cum, u)
+	if idx >= len(m.Components) {
+		idx = len(m.Components) - 1
+	}
+	return m.Components[idx].Sample(rng)
+}
+
+// CDF is the weighted component CDF.
+func (m *Mixture) CDF(x float64) float64 {
+	sum := 0.0
+	for i, c := range m.Components {
+		sum += m.Weights[i] * c.CDF(x)
+	}
+	return sum
+}
+
+// Moment is the weighted component moment; divergent if any weighted
+// component moment diverges.
+func (m *Mixture) Moment(j float64) float64 {
+	sum := 0.0
+	for i, c := range m.Components {
+		v := c.Moment(j)
+		if math.IsInf(v, 1) && m.Weights[i] > 0 {
+			return math.Inf(1)
+		}
+		sum += m.Weights[i] * v
+	}
+	return sum
+}
+
+// PartialMoment is the weighted component partial moment.
+func (m *Mixture) PartialMoment(j, a, b float64) float64 {
+	sum := 0.0
+	for i, c := range m.Components {
+		sum += m.Weights[i] * PartialMoment(c, j, a, b)
+	}
+	return sum
+}
+
+// Support is the union hull of the component supports.
+func (m *Mixture) Support() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, c := range m.Components {
+		cLo, cHi := c.Support()
+		lo = math.Min(lo, cLo)
+		hi = math.Max(hi, cHi)
+	}
+	return lo, hi
+}
+
+// Quantile inverts the mixture CDF by bisection (the CDF is nondecreasing
+// and cheap).
+func (m *Mixture) Quantile(p float64) float64 {
+	lo, hi := m.Support()
+	if p <= 0 {
+		return lo
+	}
+	if p >= 1 {
+		return hi
+	}
+	if math.IsInf(hi, 1) {
+		hi = math.Max(1, lo)
+		for m.CDF(hi) < p {
+			hi *= 2
+		}
+	}
+	if lo <= 0 {
+		lo = 0
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if m.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,378 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation: the trace characterization (Table 1), the load-balancing
+// policy comparison (Figures 2-3), the load-unbalancing policies (Figures
+// 4-5), large systems (Figure 6), bursty arrivals (Figure 7), the analytic
+// counterparts (Figures 8-9), and the J90/CTC appendices (Figures 10-13),
+// plus ablations the paper alludes to but does not run.
+//
+// Each driver returns Tables: named series over a shared x axis, rendered
+// as aligned text or CSV by the caller (cmd/sweep).
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"sita/internal/core"
+	"sita/internal/dist"
+	"sita/internal/policy"
+	"sita/internal/server"
+	"sita/internal/sim"
+	"sita/internal/trace"
+)
+
+// Config is shared experiment configuration.
+type Config struct {
+	// Profile selects the workload (C90 by default).
+	Profile trace.Profile
+	// Jobs caps the trace length per simulated point (0 = profile's full
+	// length). Smaller values trade statistical stability for speed.
+	Jobs int
+	// Seed drives all randomness.
+	Seed uint64
+	// Warmup is the fraction of jobs excluded from statistics.
+	Warmup float64
+	// Loads is the system-load sweep for the load-axis figures.
+	Loads []float64
+}
+
+// Default returns the configuration used by the reproduction: the C90
+// profile, its full job count, and the paper's plotted load range.
+func Default() Config {
+	return Config{
+		Profile: trace.C90(),
+		Seed:    1,
+		Warmup:  0.1,
+		Loads:   []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8},
+	}
+}
+
+// withProfile returns a copy of the config targeting another profile.
+func (c Config) withProfile(p trace.Profile) Config {
+	c.Profile = p
+	return c
+}
+
+// jobsPerPoint reports the trace length to simulate.
+func (c Config) jobsPerPoint() int {
+	if c.Jobs > 0 && c.Jobs < c.Profile.Jobs {
+		return c.Jobs
+	}
+	return c.Profile.Jobs
+}
+
+// buildTrace synthesizes the profile's trace once; experiments re-time it
+// per load.
+func (c Config) buildTrace() (*trace.Trace, error) {
+	p := c.Profile
+	p.Jobs = c.jobsPerPoint()
+	return trace.Generate(p, c.Seed)
+}
+
+// policySpec names a policy and builds a fresh instance for a given load
+// (SITA cutoffs depend on the arrival rate).
+type policySpec struct {
+	name  string
+	build func(load float64, size dist.BoundedPareto, hosts int, seed uint64) (server.Policy, error)
+}
+
+func specRandom() policySpec {
+	return policySpec{name: "Random", build: func(_ float64, _ dist.BoundedPareto, _ int, seed uint64) (server.Policy, error) {
+		return policy.NewRandom(sim.NewRNG(seed, 100)), nil
+	}}
+}
+
+func specRoundRobin() policySpec {
+	return policySpec{name: "Round-Robin", build: func(float64, dist.BoundedPareto, int, uint64) (server.Policy, error) {
+		return policy.NewRoundRobin(), nil
+	}}
+}
+
+func specLWL() policySpec {
+	return policySpec{name: "Least-Work-Left", build: func(float64, dist.BoundedPareto, int, uint64) (server.Policy, error) {
+		return policy.NewLeastWorkLeft(), nil
+	}}
+}
+
+func specSITA(v core.Variant) policySpec {
+	return policySpec{name: v.String(), build: func(load float64, size dist.BoundedPareto, hosts int, _ uint64) (server.Policy, error) {
+		d, err := core.NewDesign(v, load, size, hosts)
+		if err != nil {
+			return nil, err
+		}
+		return d.Policy(), nil
+	}}
+}
+
+// simSweep simulates each policy across the load sweep and returns mean
+// slowdown and variance-of-slowdown tables.
+func (c Config) simSweep(id, title string, hosts int, specs []policySpec, poisson bool) ([]Table, error) {
+	tr, err := c.buildTrace()
+	if err != nil {
+		return nil, err
+	}
+	size := c.Profile.MustSizeDist()
+	mean := NewTable(id+"-mean", title+" — mean slowdown", "system load", "mean slowdown")
+	vari := NewTable(id+"-var", title+" — variance of slowdown", "system load", "variance of slowdown")
+	for _, spec := range specs {
+		for _, load := range c.Loads {
+			p, err := spec.build(load, size, hosts, c.Seed)
+			if err != nil {
+				// Infeasible points (e.g. SITA cutoffs at overload) are
+				// skipped, like the unreadable high-load ends of the
+				// paper's plots.
+				continue
+			}
+			jobs := tr.JobsAtLoad(load, hosts, poisson, c.Seed+uint64(math.Float64bits(load)))
+			res := server.Run(jobs, server.Config{
+				Hosts:          hosts,
+				Policy:         p,
+				WarmupFraction: c.Warmup,
+			})
+			mean.Add(spec.name, load, res.Slowdown.Mean())
+			vari.Add(spec.name, load, res.Slowdown.Variance())
+		}
+	}
+	return []Table{*mean, *vari}, nil
+}
+
+// Table1 regenerates the trace characterization table for all three
+// workloads.
+func Table1(cfg Config) ([]Table, error) {
+	t := NewTable("table1", "Characteristics of the trace data", "profile", "")
+	t.Columns = []string{"jobs", "mean(s)", "min(s)", "max(s)", "C^2", "tail@halfload"}
+	for i, p := range []trace.Profile{trace.C90(), trace.J90(), trace.CTC()} {
+		c := cfg.withProfile(p)
+		tr, err := c.buildTrace()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: table1 %s: %w", p.Name, err)
+		}
+		st := tr.ComputeStats()
+		x := float64(i)
+		t.Add("jobs", x, float64(st.Jobs))
+		t.Add("mean(s)", x, st.Mean)
+		t.Add("min(s)", x, st.Min)
+		t.Add("max(s)", x, st.Max)
+		t.Add("C^2", x, st.SquaredCV)
+		t.Add("tail@halfload", x, st.TailJobFraction)
+		t.RowLabels = append(t.RowLabels, p.Name)
+	}
+	return []Table{*t}, nil
+}
+
+// Figure2 compares the load-balancing policies (Random, Least-Work-Left,
+// SITA-E) on a 2-host system by trace-driven simulation.
+func Figure2(cfg Config) ([]Table, error) {
+	return cfg.simSweep("fig2", "Load-balancing policies, 2 hosts (simulation)", 2,
+		[]policySpec{specRandom(), specLWL(), specSITA(core.SITAE)}, true)
+}
+
+// Figure3 repeats Figure 2 with 4 hosts.
+func Figure3(cfg Config) ([]Table, error) {
+	return cfg.simSweep("fig3", "Load-balancing policies, 4 hosts (simulation)", 4,
+		[]policySpec{specRandom(), specLWL(), specSITA(core.SITAE)}, true)
+}
+
+// Figure4 compares SITA-E against the load-unbalancing SITA-U-opt and
+// SITA-U-fair on 2 hosts by simulation.
+func Figure4(cfg Config) ([]Table, error) {
+	return cfg.simSweep("fig4", "SITA-E vs SITA-U-opt vs SITA-U-fair, 2 hosts (simulation)", 2,
+		[]policySpec{specSITA(core.SITAE), specSITA(core.SITAUOpt), specSITA(core.SITAUFair)}, true)
+}
+
+// Figure5 reports the fraction of total load sent to Host 1 (the short
+// host) under SITA-U-opt and SITA-U-fair, against the rule of thumb rho/2.
+func Figure5(cfg Config) ([]Table, error) {
+	size := cfg.Profile.MustSizeDist()
+	t := NewTable("fig5", "Fraction of load to Host 1 (analysis)", "system load", "load fraction to Host 1")
+	for _, load := range cfg.Loads {
+		for _, v := range []core.Variant{core.SITAUOpt, core.SITAUFair} {
+			d, err := core.NewDesign(v, load, size, 2)
+			if err != nil {
+				continue
+			}
+			t.Add(v.String(), load, d.ShortLoadFraction())
+		}
+		t.Add("rule-of-thumb", load, core.RuleOfThumbFraction(load))
+	}
+	return []Table{*t}, nil
+}
+
+// Figure6 sweeps the number of hosts at fixed system load 0.7: LWL against
+// the grouped SITA policies of section 5.
+func Figure6(cfg Config) ([]Table, error) {
+	const load = 0.7
+	hostCounts := []int{2, 4, 8, 16, 32, 48, 64, 80, 100}
+	tr, err := cfg.buildTrace()
+	if err != nil {
+		return nil, err
+	}
+	size := cfg.Profile.MustSizeDist()
+	t := NewTable("fig6", "Slowdown vs number of hosts at load 0.7 (simulation)", "hosts", "mean slowdown")
+	specs := []policySpec{specLWL(), specSITA(core.SITAE), specSITA(core.SITAUOpt), specSITA(core.SITAUFair)}
+	for _, h := range hostCounts {
+		jobs := tr.JobsAtLoad(load, h, true, cfg.Seed+uint64(h))
+		for _, spec := range specs {
+			p, err := spec.build(load, size, h, cfg.Seed)
+			if err != nil {
+				continue
+			}
+			res := server.Run(jobs, server.Config{Hosts: h, Policy: p, WarmupFraction: cfg.Warmup})
+			t.Add(spec.name, float64(h), res.Slowdown.Mean())
+		}
+	}
+	return []Table{*t}, nil
+}
+
+// Figure7 removes the Poisson assumption: the trace's own bursty
+// interarrival gaps are rescaled to each load (section 6), with the
+// analytic Poisson cutoffs retained, exactly as in the paper.
+func Figure7(cfg Config) ([]Table, error) {
+	c := cfg
+	// The interesting region extends toward saturation; use the paper's
+	// high-load sweep unless the caller chose loads explicitly.
+	if equalLoads(cfg.Loads, Default().Loads) {
+		c.Loads = []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98}
+	}
+	// Section 6's workload has dependencies between arrivals and sizes:
+	// bursts of similar-runtime jobs. Regenerate the trace with the
+	// correlation switched on.
+	c.Profile.BurstSizeBand = 0.15
+	tables, err := c.simSweep("fig7", "Bursty (scaled-trace) arrivals, 2 hosts (simulation)", 2,
+		[]policySpec{specLWL(), specSITA(core.SITAUOpt), specSITA(core.SITAUFair)}, false)
+	if err != nil {
+		return nil, err
+	}
+	return tables, nil
+}
+
+// Figure8 is the analytic counterpart of Figure 2: mean slowdown of the
+// load-balancing policies from queueing formulas.
+func Figure8(cfg Config) ([]Table, error) {
+	size := cfg.Profile.MustSizeDist()
+	t := NewTable("fig8", "Load-balancing policies, 2 hosts (analysis)", "system load", "mean slowdown")
+	const hosts = 2
+	for _, load := range cfg.Loads {
+		lambda := float64(hosts) * load / size.Moment(1)
+		t.Add("Random", load, queueing2MeanSlowdown(queueingRandom, lambda, size, hosts))
+		t.Add("Round-Robin", load, queueing2MeanSlowdown(queueingRoundRobin, lambda, size, hosts))
+		t.Add("Least-Work-Left", load, queueing2MeanSlowdown(queueingLWL, lambda, size, hosts))
+		if d, err := core.NewDesign(core.SITAE, load, size, hosts); err == nil {
+			t.Add("SITA-E", load, d.Predicted.MeanSlowdown)
+		}
+	}
+	return []Table{*t}, nil
+}
+
+// Figure9 is the analytic counterpart of Figure 4: SITA-E vs SITA-U-opt vs
+// SITA-U-fair mean slowdown from queueing formulas.
+func Figure9(cfg Config) ([]Table, error) {
+	size := cfg.Profile.MustSizeDist()
+	t := NewTable("fig9", "SITA variants, 2 hosts (analysis)", "system load", "mean slowdown")
+	for _, load := range cfg.Loads {
+		for _, v := range []core.Variant{core.SITAE, core.SITAUOpt, core.SITAUFair} {
+			d, err := core.NewDesign(v, load, size, 2)
+			if err != nil {
+				continue
+			}
+			t.Add(v.String(), load, d.Predicted.MeanSlowdown)
+		}
+	}
+	return []Table{*t}, nil
+}
+
+// Figure10 repeats the policy comparison (Figures 2 and 4 combined) on the
+// J90 workload.
+func Figure10(cfg Config) ([]Table, error) {
+	c := cfg.withProfile(trace.J90())
+	tables, err := c.simSweep("fig10", "All policies, 2 hosts, J90 (simulation)", 2,
+		[]policySpec{specRandom(), specLWL(), specSITA(core.SITAE), specSITA(core.SITAUOpt), specSITA(core.SITAUFair)}, true)
+	return tables, err
+}
+
+// Figure11 repeats Figure 5 on the J90 workload.
+func Figure11(cfg Config) ([]Table, error) {
+	tables, err := Figure5(cfg.withProfile(trace.J90()))
+	if err != nil {
+		return nil, err
+	}
+	tables[0].ID = "fig11"
+	tables[0].Title += " — J90"
+	return tables, nil
+}
+
+// Figure12 repeats the policy comparison on the CTC workload.
+func Figure12(cfg Config) ([]Table, error) {
+	c := cfg.withProfile(trace.CTC())
+	tables, err := c.simSweep("fig12", "All policies, 2 hosts, CTC (simulation)", 2,
+		[]policySpec{specRandom(), specLWL(), specSITA(core.SITAE), specSITA(core.SITAUOpt), specSITA(core.SITAUFair)}, true)
+	return tables, err
+}
+
+// Figure13 repeats Figure 5 on the CTC workload.
+func Figure13(cfg Config) ([]Table, error) {
+	tables, err := Figure5(cfg.withProfile(trace.CTC()))
+	if err != nil {
+		return nil, err
+	}
+	tables[0].ID = "fig13"
+	tables[0].Title += " — CTC"
+	return tables, nil
+}
+
+// Drivers maps experiment IDs to their driver functions.
+func Drivers() map[string]func(Config) ([]Table, error) {
+	return map[string]func(Config) ([]Table, error){
+		"table1": Table1,
+		"fig2":   Figure2,
+		"fig3":   Figure3,
+		"fig4":   Figure4,
+		"fig5":   Figure5,
+		"fig6":   Figure6,
+		"fig7":   Figure7,
+		"fig8":   Figure8,
+		"fig9":   Figure9,
+		"fig10":  Figure10,
+		"fig11":  Figure11,
+		"fig12":  Figure12,
+		"fig13":  Figure13,
+		// Ablations beyond the paper's figures:
+		"cutoff-sensitivity": CutoffSensitivity,
+		"misclassification":  Misclassification,
+		"burstiness":         BurstinessSweep,
+		"multi-cutoff":       MultiCutoffAblation,
+		"fairness-profile":   FairnessProfile,
+		"tags":               TAGSComparison,
+		"tail-latency":       TailLatency,
+		"derivation":         DerivationProtocol,
+		"sjf":                SJFComparison,
+		"estimate-noise":     EstimateNoise,
+		"response-time":      ResponseTime,
+		"variance-analysis":  VarianceAnalysis,
+	}
+}
+
+// IDs returns the experiment identifiers in presentation order.
+func IDs() []string {
+	return []string{
+		"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"cutoff-sensitivity", "misclassification", "burstiness",
+		"multi-cutoff", "fairness-profile", "tags", "tail-latency",
+		"derivation", "sjf", "estimate-noise", "response-time",
+		"variance-analysis",
+	}
+}
+
+// equalLoads reports whether two load sweeps are identical.
+func equalLoads(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,352 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"sita/internal/trace"
+)
+
+// testConfig trims the workload so the full driver suite stays fast while
+// preserving the qualitative shapes.
+func testConfig() Config {
+	c := Default()
+	c.Jobs = 12000
+	c.Loads = []float64{0.5, 0.7}
+	return c
+}
+
+func TestTable1AllProfiles(t *testing.T) {
+	tables, err := Table1(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if len(tb.RowLabels) != 3 {
+		t.Fatalf("row labels %v, want 3 profiles", tb.RowLabels)
+	}
+	// C90 must be far more variable than CTC.
+	c90 := tb.MustValue("C^2", 0)
+	ctc := tb.MustValue("C^2", 2)
+	if c90 < 4*ctc {
+		t.Errorf("C90 C^2 %v should dwarf CTC %v", c90, ctc)
+	}
+	// The heavy tail: a small fraction of jobs carries half the load.
+	if tail := tb.MustValue("tail@halfload", 0); tail > 0.05 {
+		t.Errorf("C90 tail fraction %v, want < 0.05", tail)
+	}
+}
+
+func TestFigure2Ordering(t *testing.T) {
+	tables, err := Figure2(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := tables[0]
+	random := mean.MustValue("Random", 0.7)
+	lwl := mean.MustValue("Least-Work-Left", 0.7)
+	sitaE := mean.MustValue("SITA-E", 0.7)
+	if !(random > lwl && lwl > sitaE) {
+		t.Errorf("figure 2 ordering violated: random=%v lwl=%v sitaE=%v", random, lwl, sitaE)
+	}
+	// Paper: Random exceeds SITA-E by ~an order of magnitude.
+	if random/sitaE < 5 {
+		t.Errorf("random/sitaE = %v, want >= 5", random/sitaE)
+	}
+	// Variance gaps are even bigger.
+	vari := tables[1]
+	if vari.MustValue("Random", 0.7) < vari.MustValue("SITA-E", 0.7) {
+		t.Error("variance ordering violated")
+	}
+}
+
+func TestFigure3FourHostsImproves(t *testing.T) {
+	cfg := testConfig()
+	t2, err := Figure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := Figure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: LWL and SITA-E improve markedly from 2 to 4 hosts.
+	lwl2 := t2[0].MustValue("Least-Work-Left", 0.7)
+	lwl4 := t4[0].MustValue("Least-Work-Left", 0.7)
+	if lwl4 >= lwl2 {
+		t.Errorf("LWL at 4 hosts (%v) should beat 2 hosts (%v)", lwl4, lwl2)
+	}
+}
+
+func TestFigure4UnbalancingWins(t *testing.T) {
+	tables, err := Figure4(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := tables[0]
+	sitaE := mean.MustValue("SITA-E", 0.7)
+	opt := mean.MustValue("SITA-U-opt", 0.7)
+	fair := mean.MustValue("SITA-U-fair", 0.7)
+	if opt >= sitaE || fair >= sitaE {
+		t.Errorf("unbalancing should win: E=%v opt=%v fair=%v", sitaE, opt, fair)
+	}
+	// Paper: improvement of 4-10x in the 0.5-0.8 load range.
+	if sitaE/fair < 2 {
+		t.Errorf("SITA-E/fair = %v, want >= 2", sitaE/fair)
+	}
+	// Variance improves by an order of magnitude or more.
+	vari := tables[1]
+	if vari.MustValue("SITA-E", 0.7)/vari.MustValue("SITA-U-fair", 0.7) < 5 {
+		t.Errorf("variance gain %v, want >= 5",
+			vari.MustValue("SITA-E", 0.7)/vari.MustValue("SITA-U-fair", 0.7))
+	}
+}
+
+func TestFigure5RuleOfThumb(t *testing.T) {
+	cfg := testConfig()
+	cfg.Loads = []float64{0.4, 0.6, 0.8}
+	tables, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	for _, load := range cfg.Loads {
+		rule := tb.MustValue("rule-of-thumb", load)
+		if rule != load/2 {
+			t.Errorf("rule series at %v = %v, want %v", load, rule, load/2)
+		}
+		opt := tb.MustValue("SITA-U-opt", load)
+		if opt >= 0.5 {
+			t.Errorf("opt fraction at %v = %v, want < 0.5", load, opt)
+		}
+		if diff := opt - rule; diff > 0.2 || diff < -0.2 {
+			t.Errorf("opt fraction at %v = %v too far from rule %v", load, opt, rule)
+		}
+	}
+	// The optimal fraction grows with load (figure 5's upward trend).
+	if tb.MustValue("SITA-U-opt", 0.8) <= tb.MustValue("SITA-U-opt", 0.4) {
+		t.Error("opt load fraction should increase with load")
+	}
+}
+
+func TestFigure6Crossover(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 15000
+	tables, err := Figure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	// Small systems: SITA-U beats LWL (paper: "significantly worse than
+	// the modified versions of the two load unbalancing strategies").
+	if tb.MustValue("Least-Work-Left", 2) < tb.MustValue("SITA-U-opt", 2) {
+		t.Errorf("at 2 hosts LWL (%v) should lose to SITA-U-opt (%v)",
+			tb.MustValue("Least-Work-Left", 2), tb.MustValue("SITA-U-opt", 2))
+	}
+	// Very large systems: LWL overtakes SITA-E (paper's crossover) and all
+	// policies converge.
+	if tb.MustValue("Least-Work-Left", 100) > tb.MustValue("SITA-E", 100) {
+		t.Errorf("at 100 hosts LWL (%v) should beat SITA-E (%v)",
+			tb.MustValue("Least-Work-Left", 100), tb.MustValue("SITA-E", 100))
+	}
+	// LWL improves dramatically as hosts grow.
+	if tb.MustValue("Least-Work-Left", 100) > tb.MustValue("Least-Work-Left", 2)/5 {
+		t.Error("LWL should improve sharply with more hosts")
+	}
+}
+
+func TestFigure7BurstyArrivals(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 20000
+	cfg.Loads = Default().Loads // let the driver pick its high-load sweep
+	tables, err := Figure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := tables[0]
+	// Mid loads: SITA-U wins even with bursty arrivals.
+	if mean.MustValue("SITA-U-fair", 0.7) > mean.MustValue("Least-Work-Left", 0.7) {
+		t.Errorf("at load 0.7 SITA-U-fair (%v) should beat LWL (%v) despite burstiness",
+			mean.MustValue("SITA-U-fair", 0.7), mean.MustValue("Least-Work-Left", 0.7))
+	}
+	// Very high load points exist for LWL.
+	if _, ok := mean.Value("Least-Work-Left", 0.95); !ok {
+		t.Error("missing LWL point at load 0.95")
+	}
+}
+
+func TestFigure8AnalyticOrdering(t *testing.T) {
+	cfg := testConfig()
+	tables, err := Figure8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	random := tb.MustValue("Random", 0.7)
+	rr := tb.MustValue("Round-Robin", 0.7)
+	lwl := tb.MustValue("Least-Work-Left", 0.7)
+	sitaE := tb.MustValue("SITA-E", 0.7)
+	if !(random > rr && rr > lwl && lwl > sitaE) {
+		t.Errorf("analytic ordering violated: %v %v %v %v", random, rr, lwl, sitaE)
+	}
+}
+
+func TestFigure9AnalyticUnbalancing(t *testing.T) {
+	tables, err := Figure9(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if tb.MustValue("SITA-U-opt", 0.7) > tb.MustValue("SITA-U-fair", 0.7) {
+		t.Error("opt should weakly beat fair")
+	}
+	if tb.MustValue("SITA-U-fair", 0.7) >= tb.MustValue("SITA-E", 0.7) {
+		t.Error("fair should beat SITA-E")
+	}
+}
+
+func TestAppendixFiguresRun(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 8000
+	for _, fn := range []func(Config) ([]Table, error){Figure10, Figure11, Figure12, Figure13} {
+		tables, err := fn(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tables) == 0 || len(tables[0].Xs()) == 0 {
+			t.Fatal("appendix figure empty")
+		}
+	}
+}
+
+func TestAppendixProfilesSameStory(t *testing.T) {
+	// The paper's appendices show the same qualitative results on J90 and
+	// CTC: SITA-U-fair beats SITA-E at medium-high load.
+	cfg := testConfig()
+	cfg.Jobs = 12000
+	for _, fn := range []func(Config) ([]Table, error){Figure10, Figure12} {
+		tables, err := fn(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := tables[0]
+		if mean.MustValue("SITA-U-fair", 0.7) >= mean.MustValue("Random", 0.7) {
+			t.Error("SITA-U-fair should beat Random on every workload")
+		}
+	}
+}
+
+func TestExtensionsRun(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 6000
+	for name, fn := range map[string]func(Config) ([]Table, error){
+		"cutoff-sensitivity": CutoffSensitivity,
+		"misclassification":  Misclassification,
+		"burstiness":         BurstinessSweep,
+		"fairness-profile":   FairnessProfile,
+	} {
+		tables, err := fn(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tables) == 0 || len(tables[0].SeriesNames()) == 0 {
+			t.Fatalf("%s: empty output", name)
+		}
+	}
+}
+
+func TestMisclassificationDegradesGracefully(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 15000
+	tables, err := Misclassification(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	clean := tb.MustValue("both directions", 0)
+	heavy := tb.MustValue("both directions", 0.4)
+	if heavy < clean {
+		t.Errorf("40%% misclassification (%v) should not beat clean routing (%v)", heavy, clean)
+	}
+	// Directional asymmetry: at a small error rate, shorts-claiming-long is
+	// survivable while the system still runs; both series must exist.
+	if _, ok := tb.Value("shorts claim long", 0.05); !ok {
+		t.Error("missing shorts-claim-long series")
+	}
+	if _, ok := tb.Value("longs claim short", 0.05); !ok {
+		t.Error("missing longs-claim-short series")
+	}
+}
+
+func TestDriversRegistryComplete(t *testing.T) {
+	drivers := Drivers()
+	for _, id := range IDs() {
+		if _, ok := drivers[id]; !ok {
+			t.Errorf("IDs lists %q but Drivers lacks it", id)
+		}
+	}
+	if len(drivers) != len(IDs()) {
+		t.Errorf("drivers %d != ids %d", len(drivers), len(IDs()))
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	c := Default()
+	if c.Profile.Name != trace.C90().Name {
+		t.Error("default profile should be C90")
+	}
+	c2 := c.withProfile(trace.CTC())
+	if c.Profile.Name != trace.C90().Name || c2.Profile.Name != trace.CTC().Name {
+		t.Error("withProfile should not mutate the receiver")
+	}
+	c.Jobs = 100
+	if c.jobsPerPoint() != 100 {
+		t.Error("jobs cap ignored")
+	}
+	c.Jobs = 0
+	if c.jobsPerPoint() != c.Profile.Jobs {
+		t.Error("zero cap should use profile length")
+	}
+}
+
+func TestTableFormatAndCSV(t *testing.T) {
+	tb := NewTable("t", "Title", "x", "y")
+	tb.Add("a", 1, 2)
+	tb.Add("a", 2, 4)
+	tb.Add("b", 1, 3.14159)
+	out := tb.Format()
+	for _, want := range []string{"Title", "x", "a", "b", "3.142"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format output missing %q:\n%s", want, out)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "x,a,b\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "2,4,") {
+		t.Errorf("csv missing row: %q", csv)
+	}
+	if _, ok := tb.Value("b", 2); ok {
+		t.Error("missing point reported present")
+	}
+}
+
+func TestTableMustValuePanics(t *testing.T) {
+	tb := NewTable("t", "T", "x", "y")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.MustValue("nope", 1)
+}
+
+func TestCSVEscape(t *testing.T) {
+	tb := NewTable("t", "T", `x,"weird"`, "y")
+	tb.Add(`se,ries`, 1, 2)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,""weird"""`) || !strings.Contains(csv, `"se,ries"`) {
+		t.Errorf("escaping wrong: %q", csv)
+	}
+}

@@ -1,0 +1,233 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTAGSComparison(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 15000
+	cfg.Loads = []float64{0.3, 0.5}
+	tables, err := TAGSComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, waste := tables[0], tables[1]
+	// TAGS (no size information) must beat both size-blind baselines.
+	for _, load := range cfg.Loads {
+		tagsS := mean.MustValue("TAGS", load)
+		if random := mean.MustValue("Random", load); tagsS >= random {
+			t.Errorf("load %v: TAGS %v should beat Random %v", load, tagsS, random)
+		}
+		if lwl := mean.MustValue("Least-Work-Left", load); tagsS >= lwl {
+			t.Errorf("load %v: TAGS %v should beat LWL %v", load, tagsS, lwl)
+		}
+	}
+	// Wasted work exists but is bounded.
+	for _, load := range cfg.Loads {
+		w := waste.MustValue("TAGS", load)
+		if w <= 0 || w > 0.5 {
+			t.Errorf("load %v: waste fraction %v outside (0, 0.5]", load, w)
+		}
+	}
+}
+
+func TestTailLatencyMonotoneAndOrdered(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 12000
+	tables, err := TailLatency(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	// Percentile curves are nondecreasing per policy.
+	for _, s := range tb.SeriesNames() {
+		prev := -1.0
+		for _, x := range tb.Xs() {
+			v, ok := tb.Value(s, x)
+			if !ok {
+				continue
+			}
+			if v < prev {
+				t.Errorf("%s: percentile curve not monotone at p%v", s, x)
+			}
+			prev = v
+		}
+	}
+	// The tail ordering matches the mean ordering: SITA-U beats SITA-E
+	// beats Random at p99.
+	if !(tb.MustValue("SITA-U-fair", 99) < tb.MustValue("SITA-E", 99) &&
+		tb.MustValue("SITA-E", 99) < tb.MustValue("Random", 99)) {
+		t.Error("p99 ordering violated")
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 4000
+	cfg.Loads = []float64{0.5}
+	tables, err := Replicate(Figure5, cfg, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want mean + ci", len(tables))
+	}
+	mean, ci := tables[0], tables[1]
+	if !strings.Contains(mean.Title, "3 replications") {
+		t.Errorf("title %q should mention replication count", mean.Title)
+	}
+	// Figure5 is analytic, so replications agree exactly: CI must be ~0.
+	if hw := ci.MustValue("rule-of-thumb", 0.5); hw != 0 {
+		t.Errorf("analytic replication CI = %v, want 0", hw)
+	}
+	if got := mean.MustValue("rule-of-thumb", 0.5); got != 0.25 {
+		t.Errorf("replicated mean = %v, want 0.25", got)
+	}
+}
+
+func TestReplicateSimulationVariesBySeed(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 3000
+	cfg.Loads = []float64{0.5}
+	tables, err := Replicate(Figure4, cfg, []uint64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulated means must carry nonzero CI half-widths.
+	var ci *Table
+	for i := range tables {
+		if strings.HasSuffix(tables[i].ID, "-repci") && strings.HasPrefix(tables[i].ID, "fig4-mean") {
+			ci = &tables[i]
+		}
+	}
+	if ci == nil {
+		t.Fatal("missing fig4-mean CI table")
+	}
+	if hw := ci.MustValue("SITA-E", 0.5); hw <= 0 {
+		t.Errorf("simulation CI half-width = %v, want > 0", hw)
+	}
+}
+
+func TestReplicateErrors(t *testing.T) {
+	if _, err := Replicate(Figure5, testConfig(), nil); err == nil {
+		t.Fatal("no seeds accepted")
+	}
+	bad := func(Config) ([]Table, error) { return nil, errFake }
+	if _, err := Replicate(bad, testConfig(), []uint64{1}); err == nil {
+		t.Fatal("driver error swallowed")
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake" }
+
+func TestMultiCutoffAblation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 8000
+	tables, err := MultiCutoffAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	// Both constructions must produce points at h = 4.
+	if _, ok := tb.Value("grouped 2-cutoff", 4); !ok {
+		t.Error("missing grouped point")
+	}
+	if _, ok := tb.Value("full multi-cutoff", 4); !ok {
+		t.Error("missing full multi-cutoff point")
+	}
+}
+
+func TestCutoffSensitivityShape(t *testing.T) {
+	tables, err := CutoffSensitivity(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	xs := tb.Xs()
+	if len(xs) < 10 {
+		t.Fatalf("only %d cutoff points", len(xs))
+	}
+	// The curve must have an interior minimum (slowdown explodes at both
+	// feasibility edges for high enough load).
+	name := "load=0.7"
+	var best float64 = 1e300
+	var bestX float64
+	for _, x := range xs {
+		if v, ok := tb.Value(name, x); ok && v < best {
+			best, bestX = v, x
+		}
+	}
+	if bestX == xs[0] || bestX == xs[len(xs)-1] {
+		t.Errorf("optimum at feasibility edge (%v); expected interior minimum", bestX)
+	}
+}
+
+func TestDerivationProtocol(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 16000
+	cfg.Loads = []float64{0.5}
+	tables, err := DerivationProtocol(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts, perf := tables[0], tables[1]
+	// Analytic and experimental cutoffs land within an order of magnitude
+	// (the slowdown-vs-cutoff curve is flat near the optimum).
+	a := cuts.MustValue("SITA-U-opt (analytic)", 0.5)
+	e := cuts.MustValue("SITA-U-opt (experimental)", 0.5)
+	if r := e / a; r < 0.05 || r > 20 {
+		t.Errorf("cutoff derivations disagree wildly: analytic %v vs experimental %v", a, e)
+	}
+	// Held-out performance of both derivations stays within a small factor.
+	pa := perf.MustValue("SITA-U-opt (analytic)", 0.5)
+	pe := perf.MustValue("SITA-U-opt (experimental)", 0.5)
+	if r := pe / pa; r < 0.2 || r > 5 {
+		t.Errorf("held-out performance gap too large: analytic %v vs experimental %v", pa, pe)
+	}
+}
+
+func TestSJFComparison(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 15000
+	cfg.Loads = []float64{0.7}
+	tables, err := SJFComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, spread := tables[0], tables[1]
+	// SJF must improve the mean over FCFS on the same central queue.
+	if mean.MustValue("Central-Queue (SJF)", 0.7) >= mean.MustValue("Central-Queue (FCFS)", 0.7) {
+		t.Error("SJF should beat FCFS on mean slowdown")
+	}
+	// SITA-U-fair must be far fairer than either central-queue variant.
+	fairSpread := spread.MustValue("SITA-U-fair", 0.7)
+	if fairSpread >= spread.MustValue("Central-Queue (SJF)", 0.7) {
+		t.Errorf("SITA-U-fair spread %v should beat SJF's %v",
+			fairSpread, spread.MustValue("Central-Queue (SJF)", 0.7))
+	}
+}
+
+func TestVarianceAnalysisMatchesSimulationShape(t *testing.T) {
+	cfg := testConfig()
+	analytic, err := VarianceAnalysis(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := analytic[0]
+	// Ordering at load 0.7 mirrors the simulated fig4-var panel.
+	r := tb.MustValue("Random", 0.7)
+	e := tb.MustValue("SITA-E", 0.7)
+	f := tb.MustValue("SITA-U-fair", 0.7)
+	if !(r > e && e > f) {
+		t.Fatalf("analytic variance ordering violated: %v %v %v", r, e, f)
+	}
+	if e/f < 5 {
+		t.Fatalf("variance gain E/fair = %v, want large", e/f)
+	}
+}

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"fmt"
+
+	"sita/internal/stats"
+)
+
+// Replicate runs an experiment driver across several seeds and aggregates
+// each table point into mean and 95% confidence half-width tables. Single
+// long runs are the paper's protocol; replication quantifies how much of
+// each curve is estimation noise — essential near saturation, where mean
+// slowdown converges very slowly.
+func Replicate(driver func(Config) ([]Table, error), cfg Config, seeds []uint64) ([]Table, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiment: replicate needs at least one seed")
+	}
+	// accum[tableID][series][x] collects per-seed values.
+	type key struct {
+		series string
+		x      float64
+	}
+	accum := map[string]map[key]*stats.Stream{}
+	var protos []Table
+	protoSeen := map[string]bool{}
+
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		tables, err := driver(c)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: replicate seed %d: %w", seed, err)
+		}
+		for _, t := range tables {
+			if !protoSeen[t.ID] {
+				protoSeen[t.ID] = true
+				protos = append(protos, t)
+			}
+			m, ok := accum[t.ID]
+			if !ok {
+				m = map[key]*stats.Stream{}
+				accum[t.ID] = m
+			}
+			for _, s := range t.SeriesNames() {
+				for _, x := range t.Xs() {
+					if y, ok := t.Value(s, x); ok {
+						k := key{s, x}
+						st := m[k]
+						if st == nil {
+							st = &stats.Stream{}
+							m[k] = st
+						}
+						st.Add(y)
+					}
+				}
+			}
+		}
+	}
+
+	var out []Table
+	for _, proto := range protos {
+		mean := NewTable(proto.ID+"-repmean",
+			fmt.Sprintf("%s — mean of %d replications", proto.Title, len(seeds)),
+			proto.XLabel, proto.YLabel)
+		ci := NewTable(proto.ID+"-repci",
+			fmt.Sprintf("%s — 95%% CI half-width over %d replications", proto.Title, len(seeds)),
+			proto.XLabel, proto.YLabel)
+		for k, st := range accum[proto.ID] {
+			mean.Add(k.series, k.x, st.Mean())
+			ci.Add(k.series, k.x, st.CI(0.95))
+		}
+		out = append(out, *mean, *ci)
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"sita/internal/core"
+	"sita/internal/policy"
+	"sita/internal/server"
+)
+
+// SJFComparison quantifies the paper's concluding discussion: favoring
+// short jobs (Shortest-Job-First on the central queue) buys mean slowdown
+// but "may lead to starvation of certain jobs and undesirable behavior by
+// users" — whereas SITA-U-fair gets the mean slowdown benefit while
+// guaranteeing equal expected slowdown for short and long jobs. For each
+// load the driver reports mean slowdown, the short/long fairness spread
+// (max class mean over min, 1 = fair), and the worst single-job slowdown
+// (the starvation proxy).
+func SJFComparison(cfg Config) ([]Table, error) {
+	tr, err := cfg.buildTrace()
+	if err != nil {
+		return nil, err
+	}
+	size := cfg.Profile.MustSizeDist()
+	mean := NewTable("sjf-mean", "Favoring shorts: SJF vs FCFS central queue vs SITA-U-fair (simulation)",
+		"system load", "mean slowdown")
+	spread := NewTable("sjf-spread", "Short/long fairness spread (1 = fair)",
+		"system load", "max/min class slowdown")
+	worst := NewTable("sjf-worst", "Worst single-job slowdown (starvation proxy)",
+		"system load", "max slowdown")
+	const hosts = 2
+	for _, load := range cfg.Loads {
+		jobs := tr.JobsAtLoad(load, hosts, true, cfg.Seed)
+		fair, err := core.NewDesign(core.SITAUFair, load, size, hosts)
+		if err != nil {
+			continue
+		}
+		cases := []struct {
+			name  string
+			pol   server.Policy
+			order server.CentralOrder
+		}{
+			{"Central-Queue (FCFS)", policy.NewCentralQueue(), server.CentralFCFS},
+			{"Central-Queue (SJF)", policy.NewCentralQueue(), server.CentralSJF},
+			{"SITA-U-fair", fair.Policy(), server.CentralFCFS},
+		}
+		for _, c := range cases {
+			res := server.Run(jobs, server.Config{
+				Hosts: hosts, Policy: c.pol, WarmupFraction: cfg.Warmup,
+				CentralOrder: c.order,
+				SizeClass:    fair.Classify,
+			})
+			mean.Add(c.name, load, res.Slowdown.Mean())
+			spread.Add(c.name, load, res.Classes.MaxSpread())
+			worst.Add(c.name, load, res.Slowdown.Max())
+		}
+	}
+	mean.Notes = append(mean.Notes,
+		"SJF improves the mean over FCFS by privileging shorts, but the spread and worst-case rows",
+		"show the starvation cost the paper's conclusions warn about; SITA-U-fair avoids the bias")
+	return []Table{*mean, *spread, *worst}, nil
+}

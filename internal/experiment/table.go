@@ -1,0 +1,229 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"sita/internal/plot"
+)
+
+// Table is one figure or table's worth of results: named series sharing an
+// x axis. The zero value is unusable; build with NewTable.
+type Table struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	// Columns optionally fixes the series order (otherwise first-added
+	// order is used).
+	Columns []string
+	// RowLabels optionally names the x values (Table 1 uses profile names).
+	RowLabels []string
+	Notes     []string
+
+	order  []string
+	series map[string]map[float64]float64
+	xs     map[float64]bool
+}
+
+// NewTable builds an empty table.
+func NewTable(id, title, xLabel, yLabel string) *Table {
+	return &Table{
+		ID: id, Title: title, XLabel: xLabel, YLabel: yLabel,
+		series: make(map[string]map[float64]float64),
+		xs:     make(map[float64]bool),
+	}
+}
+
+// Add records one (series, x) -> y observation, overwriting duplicates.
+func (t *Table) Add(series string, x, y float64) {
+	s, ok := t.series[series]
+	if !ok {
+		s = make(map[float64]float64)
+		t.series[series] = s
+		t.order = append(t.order, series)
+	}
+	s[x] = y
+	t.xs[x] = true
+}
+
+// SeriesNames returns the series in column order.
+func (t *Table) SeriesNames() []string {
+	if len(t.Columns) > 0 {
+		return t.Columns
+	}
+	return t.order
+}
+
+// Xs returns the sorted x values.
+func (t *Table) Xs() []float64 {
+	out := make([]float64, 0, len(t.xs))
+	for x := range t.xs {
+		out = append(out, x)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Value looks up a point; ok reports whether it exists.
+func (t *Table) Value(series string, x float64) (y float64, ok bool) {
+	s, ok := t.series[series]
+	if !ok {
+		return 0, false
+	}
+	y, ok = s[x]
+	return y, ok
+}
+
+// MustValue looks up a point and panics when missing (test convenience).
+func (t *Table) MustValue(series string, x float64) float64 {
+	y, ok := t.Value(series, x)
+	if !ok {
+		panic(fmt.Sprintf("experiment: table %s has no point (%s, %v)", t.ID, series, x))
+	}
+	return y
+}
+
+// formatCell renders a value compactly: integers plainly, small values with
+// precision, large ones in scientific notation.
+func formatCell(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e7:
+		return fmt.Sprintf("%d", int64(v))
+	case math.Abs(v) >= 1e6 || (v != 0 && math.Abs(v) < 1e-3):
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "## %s [%s]\n", t.Title, t.ID)
+	names := t.SeriesNames()
+	xs := t.Xs()
+
+	header := make([]string, 0, len(names)+1)
+	header = append(header, t.XLabel)
+	header = append(header, names...)
+	rows := make([][]string, 0, len(xs))
+	for i, x := range xs {
+		row := make([]string, 0, len(names)+1)
+		if len(t.RowLabels) == len(xs) {
+			row = append(row, t.RowLabels[i])
+		} else {
+			row = append(row, formatCell(x))
+		}
+		for _, n := range names {
+			if y, ok := t.Value(n, x); ok {
+				row = append(row, formatCell(y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	writeRow(dashRow(widths))
+	for _, row := range rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+func dashRow(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, w := range widths {
+		out[i] = strings.Repeat("-", w)
+	}
+	return out
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	names := t.SeriesNames()
+	sb.WriteString(csvEscape(t.XLabel))
+	for _, n := range names {
+		sb.WriteByte(',')
+		sb.WriteString(csvEscape(n))
+	}
+	sb.WriteByte('\n')
+	for i, x := range t.Xs() {
+		if len(t.RowLabels) == len(t.xs) {
+			sb.WriteString(csvEscape(t.RowLabels[i]))
+		} else {
+			fmt.Fprintf(&sb, "%g", x)
+		}
+		for _, n := range names {
+			sb.WriteByte(',')
+			if y, ok := t.Value(n, x); ok {
+				fmt.Fprintf(&sb, "%g", y)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Plot renders the table as an ASCII line chart; logY selects a log-scale
+// y axis (the natural scale for slowdown curves).
+func (t *Table) Plot(logY bool) string {
+	var series []plot.Series
+	for _, name := range t.SeriesNames() {
+		s := plot.Series{Name: name}
+		for _, x := range t.Xs() {
+			if y, ok := t.Value(name, x); ok {
+				s.X = append(s.X, x)
+				s.Y = append(s.Y, y)
+			}
+		}
+		if len(s.X) > 0 {
+			series = append(series, s)
+		}
+	}
+	return plot.Chart(series, plot.Options{
+		Title:  fmt.Sprintf("%s [%s]", t.Title, t.ID),
+		XLabel: t.XLabel,
+		YLabel: t.YLabel,
+		LogY:   logY,
+	})
+}

@@ -1,0 +1,205 @@
+// Package plot renders series as ASCII line charts, so the experiment
+// drivers can produce figure-shaped output (the paper reports figures, not
+// tables) on any terminal without external dependencies.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Options controls chart geometry and scaling.
+type Options struct {
+	// Width and Height of the plotting area in characters (defaults 64x20).
+	Width, Height int
+	// LogY plots log10(y); non-positive values are dropped. Slowdown spans
+	// orders of magnitude, so this is the default for the figure drivers.
+	LogY bool
+	// Title, XLabel and YLabel annotate the chart.
+	Title, XLabel, YLabel string
+}
+
+// markers assigns one rune per series, cycling if necessary.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the series into a multi-line string. Series points are
+// connected by linear interpolation in screen space. Returns an error
+// message string when there is nothing to draw rather than panicking, so a
+// partially-failed experiment still prints.
+func Chart(series []Series, opt Options) string {
+	if opt.Width <= 0 {
+		opt.Width = 64
+	}
+	if opt.Height <= 0 {
+		opt.Height = 20
+	}
+
+	// Collect bounds over drawable points.
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	usable := 0
+	for _, s := range series {
+		for i := range s.X {
+			y := s.Y[i]
+			if opt.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(y) || math.IsInf(y, 0) || math.IsNaN(s.X[i]) {
+				continue
+			}
+			usable++
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, y)
+			yMax = math.Max(yMax, y)
+		}
+	}
+	if usable == 0 {
+		return "(no drawable points)\n"
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	toCol := func(x float64) int {
+		c := int(math.Round((x - xMin) / (xMax - xMin) * float64(opt.Width-1)))
+		return clamp(c, 0, opt.Width-1)
+	}
+	toRow := func(y float64) int {
+		r := int(math.Round((yMax - y) / (yMax - yMin) * float64(opt.Height-1)))
+		return clamp(r, 0, opt.Height-1)
+	}
+
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		prevSet := false
+		var prevC, prevR int
+		for i := range s.X {
+			y := s.Y[i]
+			if opt.LogY {
+				if y <= 0 {
+					prevSet = false
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				prevSet = false
+				continue
+			}
+			c, r := toCol(s.X[i]), toRow(y)
+			if prevSet {
+				drawLine(grid, prevC, prevR, c, r)
+			}
+			grid[r][c] = mark
+			prevC, prevR, prevSet = c, r, true
+		}
+	}
+
+	var sb strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", opt.Title)
+	}
+	yTop, yBot := yMax, yMin
+	if opt.LogY {
+		yTop, yBot = math.Pow(10, yMax), math.Pow(10, yMin)
+	}
+	axisLabel := func(v float64) string { return fmt.Sprintf("%10.4g", v) }
+	for r := 0; r < opt.Height; r++ {
+		label := strings.Repeat(" ", 10)
+		switch r {
+		case 0:
+			label = axisLabel(yTop)
+		case opt.Height - 1:
+			label = axisLabel(yBot)
+		case (opt.Height - 1) / 2:
+			mid := (yMax + yMin) / 2
+			if opt.LogY {
+				mid = math.Pow(10, mid)
+			}
+			label = axisLabel(mid)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", opt.Width))
+	fmt.Fprintf(&sb, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", 10), opt.Width/2, xMin, opt.Width-opt.Width/2, xMax)
+	if opt.XLabel != "" || opt.YLabel != "" {
+		scale := "linear"
+		if opt.LogY {
+			scale = "log"
+		}
+		fmt.Fprintf(&sb, "%s  x: %s, y: %s (%s)\n", strings.Repeat(" ", 10), opt.XLabel, opt.YLabel, scale)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&sb, "%s  %c %s\n", strings.Repeat(" ", 10), markers[si%len(markers)], s.Name)
+	}
+	return sb.String()
+}
+
+// drawLine rasterizes a straight segment with Bresenham's algorithm using a
+// dimmer joint character so data points stay visible.
+func drawLine(grid [][]byte, c0, r0, c1, r1 int) {
+	joint := byte('.')
+	dc := abs(c1 - c0)
+	dr := -abs(r1 - r0)
+	sc, sr := 1, 1
+	if c0 > c1 {
+		sc = -1
+	}
+	if r0 > r1 {
+		sr = -1
+	}
+	err := dc + dr
+	c, r := c0, r0
+	for {
+		if grid[r][c] == ' ' {
+			grid[r][c] = joint
+		}
+		if c == c1 && r == r1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dr {
+			err += dr
+			c += sc
+		}
+		if e2 <= dc {
+			err += dc
+			r += sr
+		}
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

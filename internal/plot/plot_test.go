@@ -1,0 +1,99 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasic(t *testing.T) {
+	out := Chart([]Series{
+		{Name: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Name: "flat", X: []float64{0, 3}, Y: []float64{1.5, 1.5}},
+	}, Options{Title: "demo", XLabel: "x", YLabel: "y"})
+	for _, want := range []string{"demo", "* linear", "o flat", "x: x, y: y (linear)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Axis bounds rendered.
+	if !strings.Contains(out, "3") || !strings.Contains(out, "0") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	out := Chart([]Series{
+		{Name: "s", X: []float64{1, 2, 3}, Y: []float64{1, 100, 10000}},
+	}, Options{LogY: true, YLabel: "slowdown", XLabel: "load"})
+	if !strings.Contains(out, "(log)") {
+		t.Errorf("log scale not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "1e+04") && !strings.Contains(out, "10000") {
+		t.Errorf("log axis top label missing:\n%s", out)
+	}
+}
+
+func TestChartLogDropsNonPositive(t *testing.T) {
+	out := Chart([]Series{
+		{Name: "s", X: []float64{1, 2, 3}, Y: []float64{-5, 0, 100}},
+	}, Options{LogY: true})
+	if strings.Contains(out, "no drawable points") {
+		t.Errorf("positive point should survive:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart(nil, Options{})
+	if !strings.Contains(out, "no drawable points") {
+		t.Errorf("empty chart should say so, got:\n%s", out)
+	}
+	out = Chart([]Series{{Name: "nan", X: []float64{1}, Y: []float64{0}}}, Options{LogY: true})
+	if !strings.Contains(out, "no drawable points") {
+		t.Errorf("all-dropped chart should say so, got:\n%s", out)
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// Single point: both axes degenerate; must not panic or divide by zero.
+	out := Chart([]Series{{Name: "pt", X: []float64{5}, Y: []float64{7}}}, Options{})
+	if !strings.Contains(out, "* pt") {
+		t.Errorf("single point chart missing legend:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked into chart:\n%s", out)
+	}
+}
+
+func TestChartMarkersCycle(t *testing.T) {
+	var series []Series
+	for i := 0; i < 10; i++ {
+		series = append(series, Series{
+			Name: strings.Repeat("s", i+1),
+			X:    []float64{0, 1}, Y: []float64{float64(i), float64(i + 1)},
+		})
+	}
+	out := Chart(series, Options{})
+	// 10 series with 8 markers: the first marker repeats; chart must list
+	// all 10 legend lines.
+	if got := strings.Count(out, "\n"); got < 25 {
+		t.Errorf("expected tall chart+legend, got %d lines", got)
+	}
+}
+
+func TestChartDimensions(t *testing.T) {
+	out := Chart([]Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}},
+		Options{Width: 30, Height: 8})
+	lines := strings.Split(out, "\n")
+	plotLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines++
+			if len(l) > 11+1+30+2 {
+				t.Errorf("plot line too wide: %q", l)
+			}
+		}
+	}
+	if plotLines != 8 {
+		t.Errorf("plot height = %d, want 8", plotLines)
+	}
+}

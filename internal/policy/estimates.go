@@ -1,0 +1,107 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"sita/internal/server"
+	"sita/internal/workload"
+)
+
+// In practice (paper §1.2), Least-Work-Left is implemented by the *users*:
+// each submitted job carries a runtime estimate, and the work left at a
+// host is the sum of the estimates of its queued jobs. The policies below
+// model that reality: dispatchers that never see true sizes or true
+// backlogs, only noisy estimates, bookkeeping their own view of each
+// host's queue.
+
+// EstimatedLWL is Least-Work-Left driven entirely by noisy runtime
+// estimates: the dispatcher tracks each host's estimated backlog itself
+// (crediting the estimate on assignment, draining it with wall-clock time)
+// and never consults the true system state. Estimation error is
+// multiplicative lognormal: estimate = size * exp(sigma*N(0,1)), the
+// standard model for human runtime estimates.
+type EstimatedLWL struct {
+	sigma float64
+	rng   *rand.Rand
+	// estReadyAt[h] is the dispatcher's belief of when host h drains.
+	estReadyAt []float64
+}
+
+// NewEstimatedLWL builds the policy; sigma = 0 reproduces exact LWL
+// behaviour (up to the backlog bookkeeping being belief-based).
+func NewEstimatedLWL(sigma float64, rng *rand.Rand) *EstimatedLWL {
+	if sigma < 0 || rng == nil {
+		panic(fmt.Sprintf("policy: estimated LWL needs sigma >= 0 and a generator, got %v", sigma))
+	}
+	return &EstimatedLWL{sigma: sigma, rng: rng}
+}
+
+// Name identifies the policy in reports.
+func (p *EstimatedLWL) Name() string {
+	return fmt.Sprintf("LWL(est sigma=%.2g)", p.sigma)
+}
+
+// Estimate returns a noisy runtime estimate for a job size.
+func (p *EstimatedLWL) Estimate(size float64) float64 {
+	if p.sigma == 0 {
+		return size
+	}
+	return size * math.Exp(p.sigma*p.rng.NormFloat64())
+}
+
+// Assign sends the job to the host with the smallest *believed* backlog
+// and credits the job's estimate to that belief.
+func (p *EstimatedLWL) Assign(j workload.Job, v server.View) int {
+	if p.estReadyAt == nil {
+		p.estReadyAt = make([]float64, v.Hosts())
+	}
+	now := j.Arrival
+	best, bestLeft := 0, math.Inf(1)
+	for i := range p.estReadyAt {
+		left := p.estReadyAt[i] - now
+		if left < 0 {
+			left = 0
+		}
+		if left < bestLeft {
+			best, bestLeft = i, left
+		}
+	}
+	if p.estReadyAt[best] < now {
+		p.estReadyAt[best] = now
+	}
+	p.estReadyAt[best] += p.Estimate(j.Size)
+	return best
+}
+
+// EstimatedSITA routes by a noisy runtime estimate instead of the true
+// size: the continuous version of the short/long misclassification model,
+// appropriate when estimates come from a predictor rather than a binary
+// user choice.
+type EstimatedSITA struct {
+	inner *SITA
+	sigma float64
+	rng   *rand.Rand
+}
+
+// NewEstimatedSITA wraps a SITA policy with lognormal estimate noise.
+func NewEstimatedSITA(inner *SITA, sigma float64, rng *rand.Rand) *EstimatedSITA {
+	if inner == nil || rng == nil || sigma < 0 {
+		panic("policy: estimated SITA needs an inner policy, sigma >= 0 and a generator")
+	}
+	return &EstimatedSITA{inner: inner, sigma: sigma, rng: rng}
+}
+
+// Name identifies the policy in reports.
+func (p *EstimatedSITA) Name() string {
+	return fmt.Sprintf("%s(est sigma=%.2g)", p.inner.Name(), p.sigma)
+}
+
+// Assign perturbs the size seen by the inner SITA policy.
+func (p *EstimatedSITA) Assign(j workload.Job, v server.View) int {
+	if p.sigma > 0 {
+		j.Size *= math.Exp(p.sigma * p.rng.NormFloat64())
+	}
+	return p.inner.Assign(j, v)
+}

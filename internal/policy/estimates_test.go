@@ -1,0 +1,143 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"sita/internal/dist"
+	"sita/internal/server"
+	"sita/internal/sim"
+	"sita/internal/workload"
+)
+
+type workloadJob = workload.Job
+
+func TestEstimatedLWLZeroNoiseMatchesTrueLWL(t *testing.T) {
+	// With sigma = 0 and hosts drained only by time, the belief-based
+	// backlog equals the true backlog, so routing matches exact LWL.
+	size := dist.NewBoundedPareto(1.3, 1, 1e4)
+	jobs := poissonJobs(20000, 0.7, 2, size, 31)
+	exact := server.Run(jobs, server.Config{Hosts: 2, Policy: NewLeastWorkLeft(), KeepRecords: true})
+	est := server.Run(jobs, server.Config{Hosts: 2, Policy: NewEstimatedLWL(0, sim.NewRNG(31, 9)), KeepRecords: true})
+	for i := range exact.Records {
+		if exact.Records[i].Host != est.Records[i].Host {
+			t.Fatalf("sigma=0 estimated LWL diverged from exact LWL at job %d", i)
+		}
+	}
+}
+
+func TestEstimatedLWLDegradesWithNoise(t *testing.T) {
+	size := dist.NewBoundedPareto(1.1, 1, 1e5)
+	jobs := poissonJobs(25000, 0.7, 2, size, 33)
+	clean := server.Run(jobs, server.Config{Hosts: 2, Policy: NewEstimatedLWL(0, sim.NewRNG(33, 9))})
+	noisy := server.Run(jobs, server.Config{Hosts: 2, Policy: NewEstimatedLWL(1.6, sim.NewRNG(33, 10))})
+	if noisy.Slowdown.Mean() <= clean.Slowdown.Mean() {
+		t.Fatalf("severe estimate noise (%v) should hurt vs clean (%v)",
+			noisy.Slowdown.Mean(), clean.Slowdown.Mean())
+	}
+}
+
+func TestEstimatedSITAZeroNoiseIdentical(t *testing.T) {
+	size := dist.NewBoundedPareto(1.1, 1, 1e4)
+	cut := size.LoadCutoff(0.5)
+	jobs := poissonJobs(5000, 0.6, 2, size, 35)
+	pure := server.Run(jobs, server.Config{Hosts: 2, Policy: NewSITA("s", []float64{cut}), KeepRecords: true})
+	wrapped := server.Run(jobs, server.Config{Hosts: 2,
+		Policy:      NewEstimatedSITA(NewSITA("s", []float64{cut}), 0, sim.NewRNG(35, 9)),
+		KeepRecords: true})
+	for i := range pure.Records {
+		if pure.Records[i].Host != wrapped.Records[i].Host {
+			t.Fatalf("sigma=0 wrapper changed routing at job %d", i)
+		}
+	}
+}
+
+func TestEstimatedSITAMisroutesBoundedFraction(t *testing.T) {
+	// With moderate noise, only jobs whose size is within the noise band of
+	// the cutoff can flip sides, so the misrouted fraction stays small.
+	size := dist.NewBoundedPareto(1.1, 1, 1e5)
+	cut := size.LoadCutoff(0.5)
+	jobs := poissonJobs(30000, 0.6, 2, size, 37)
+	res := server.Run(jobs, server.Config{Hosts: 2,
+		Policy:      NewEstimatedSITA(NewSITA("s", []float64{cut}), 0.69, sim.NewRNG(37, 9)),
+		KeepRecords: true})
+	misrouted := 0
+	for _, r := range res.Records {
+		correct := 0
+		if r.Size > cut {
+			correct = 1
+		}
+		if r.Host != correct {
+			misrouted++
+		}
+	}
+	frac := float64(misrouted) / float64(len(res.Records))
+	if frac > 0.05 {
+		t.Fatalf("misrouted fraction %v with factor-2 noise, want small", frac)
+	}
+	if misrouted == 0 {
+		t.Fatal("expected some misrouting with noise")
+	}
+}
+
+func TestEstimateDistribution(t *testing.T) {
+	p := NewEstimatedLWL(0.5, sim.NewRNG(41, 0))
+	var sumLog float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sumLog += math.Log(p.Estimate(100) / 100)
+	}
+	// Lognormal noise has zero log-mean: the estimator is median-unbiased.
+	if math.Abs(sumLog/n) > 0.01 {
+		t.Fatalf("mean log error %v, want ~0", sumLog/n)
+	}
+}
+
+func TestEstimatesValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewEstimatedLWL(-1, sim.NewRNG(1, 0)) },
+		func() { NewEstimatedLWL(0, nil) },
+		func() { NewEstimatedSITA(nil, 0, sim.NewRNG(1, 0)) },
+		func() { NewEstimatedSITA(NewSITA("s", nil), -1, sim.NewRNG(1, 0)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCentralSJFOrdersByceSize(t *testing.T) {
+	// Host busy; three jobs held centrally; SJF releases smallest first.
+	jobs := []struct{ arr, size float64 }{
+		{0, 100}, // occupies the single host until t=100
+		{1, 30},  // held
+		{2, 5},   // held
+		{3, 60},  // held
+	}
+	var list []server.JobRecord
+	var input []workloadJob
+	for i, j := range jobs {
+		input = append(input, workloadJob{ID: i, Arrival: j.arr, Size: j.size})
+	}
+	res := server.Run(input, server.Config{
+		Hosts:        1,
+		Policy:       NewCentralQueue(),
+		CentralOrder: server.CentralSJF,
+		KeepRecords:  true,
+	})
+	list = res.Records
+	byID := map[int]server.JobRecord{}
+	for _, r := range list {
+		byID[r.ID] = r
+	}
+	// SJF order after the long job: 2 (5s) at 100, 1 (30s) at 105, 3 at 135.
+	if byID[2].Start != 100 || byID[1].Start != 105 || byID[3].Start != 135 {
+		t.Fatalf("SJF starts: job2=%v job1=%v job3=%v, want 100/105/135",
+			byID[2].Start, byID[1].Start, byID[3].Start)
+	}
+}

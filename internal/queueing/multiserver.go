@@ -1,0 +1,127 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"sita/internal/dist"
+)
+
+// ErlangC reports the M/M/h probability that an arriving job must wait,
+// where a = lambda/mu is the offered load in Erlangs and h the number of
+// servers. Returns 1 when the system is unstable (a >= h). Terms are
+// accumulated with the usual recurrence to avoid factorial overflow.
+func ErlangC(h int, a float64) float64 {
+	if h <= 0 || a < 0 {
+		panic(fmt.Sprintf("queueing: ErlangC needs h > 0 and a >= 0, got h=%d a=%v", h, a))
+	}
+	if a == 0 {
+		return 0
+	}
+	rho := a / float64(h)
+	if rho >= 1 {
+		return 1
+	}
+	// term_k = a^k/k!, built incrementally; sum collects k = 0..h-1.
+	term := 1.0
+	sum := 1.0
+	for k := 1; k < h; k++ {
+		term *= a / float64(k)
+		sum += term
+	}
+	top := term * a / float64(h) / (1 - rho) // a^h/h! * 1/(1-rho)
+	return top / (sum + top)
+}
+
+// MMh is an M/M/h queue: Poisson arrivals at rate Lambda, h identical
+// exponential servers with mean service time MeanService.
+type MMh struct {
+	Lambda      float64
+	MeanService float64
+	H           int
+}
+
+// NewMMh validates parameters.
+func NewMMh(lambda, meanService float64, h int) MMh {
+	if lambda <= 0 || meanService <= 0 || h <= 0 {
+		panic(fmt.Sprintf("queueing: invalid MMh lambda=%v mean=%v h=%d", lambda, meanService, h))
+	}
+	return MMh{Lambda: lambda, MeanService: meanService, H: h}
+}
+
+// Load reports the per-server utilization rho = lambda*E[X]/h.
+func (q MMh) Load() float64 { return q.Lambda * q.MeanService / float64(q.H) }
+
+// MeanWait reports E[W] = C(h, a) / (h*mu - lambda); +Inf if unstable.
+func (q MMh) MeanWait() float64 {
+	if q.Load() >= 1 {
+		return math.Inf(1)
+	}
+	a := q.Lambda * q.MeanService
+	c := ErlangC(q.H, a)
+	return c / (float64(q.H)/q.MeanService - q.Lambda)
+}
+
+// MeanQueueLength reports E[Q] = lambda*E[W].
+func (q MMh) MeanQueueLength() float64 {
+	if q.Load() >= 1 {
+		return math.Inf(1)
+	}
+	return q.Lambda * q.MeanWait()
+}
+
+// MGh approximates an M/G/h queue — the model for the Least-Work-Left /
+// Central-Queue policy — using the Lee-Longton two-moment approximation:
+//
+//	E[W_M/G/h] ~= (1 + C^2)/2 * E[W_M/M/h]
+//
+// with C^2 the squared coefficient of variation of the service distribution.
+// This is the approximation family the paper cites (Sozaki-Ross, Wolff): the
+// waiting time stays proportional to E[X^2], which is the analytic heart of
+// the paper's argument for why LWL cannot escape job-size variability.
+type MGh struct {
+	Lambda float64
+	Size   dist.Distribution
+	H      int
+}
+
+// NewMGh validates parameters.
+func NewMGh(lambda float64, size dist.Distribution, h int) MGh {
+	if lambda <= 0 || size == nil || h <= 0 {
+		panic(fmt.Sprintf("queueing: invalid MGh lambda=%v h=%d", lambda, h))
+	}
+	return MGh{Lambda: lambda, Size: size, H: h}
+}
+
+// Load reports the per-server utilization.
+func (q MGh) Load() float64 { return q.Lambda * q.Size.Moment(1) / float64(q.H) }
+
+// MeanWait reports the approximate E[W]; +Inf if unstable.
+func (q MGh) MeanWait() float64 {
+	if q.Load() >= 1 {
+		return math.Inf(1)
+	}
+	base := NewMMh(q.Lambda, q.Size.Moment(1), q.H).MeanWait()
+	scv := dist.SquaredCV(q.Size)
+	return (1 + scv) / 2 * base
+}
+
+// MeanResponse reports E[T] = E[W] + E[X].
+func (q MGh) MeanResponse() float64 { return q.MeanWait() + q.Size.Moment(1) }
+
+// MeanSlowdown reports E[S] = 1 + E[W]*E[1/X]; the independence of a job's
+// size from its delay is inherited from the FCFS central queue.
+func (q MGh) MeanSlowdown() float64 {
+	if q.Load() >= 1 {
+		return math.Inf(1)
+	}
+	return 1 + q.MeanWait()*q.Size.Moment(-1)
+}
+
+// MeanQueueLength reports E[Q] = lambda*E[W].
+func (q MGh) MeanQueueLength() float64 {
+	if q.Load() >= 1 {
+		return math.Inf(1)
+	}
+	return q.Lambda * q.MeanWait()
+}

@@ -1,0 +1,179 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sita/internal/dist"
+	"sita/internal/sim"
+)
+
+func TestMG1MetricsIncreaseWithLoad(t *testing.T) {
+	size := c90ish()
+	prevW, prevS, prevV := 0.0, 0.0, 0.0
+	for _, load := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		q := NewMG1(load/size.Moment(1), size)
+		if w := q.MeanWait(); w <= prevW {
+			t.Fatalf("E[W] not increasing at load %v: %v after %v", load, w, prevW)
+		} else {
+			prevW = w
+		}
+		if s := q.MeanSlowdown(); s <= prevS {
+			t.Fatalf("E[S] not increasing at load %v", load)
+		} else {
+			prevS = s
+		}
+		if v := q.SlowdownVariance(); v <= prevV {
+			t.Fatalf("Var[S] not increasing at load %v", load)
+		} else {
+			prevV = v
+		}
+	}
+}
+
+func TestErlangCIncreasesWithOfferedLoad(t *testing.T) {
+	f := func(raw uint8) bool {
+		h := 1 + int(raw)%16
+		prev := -1.0
+		for a := 0.1 * float64(h); a < float64(h); a += 0.1 * float64(h) {
+			c := ErlangC(h, a)
+			if c <= prev || c < 0 || c > 1 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSITAMeanSlowdownContinuousInCutoff(t *testing.T) {
+	// Adjacent cutoffs on a fine grid must give close mean slowdowns — the
+	// optimizers rely on it.
+	size := c90ish()
+	lambda := 2 * 0.6 / size.Moment(1)
+	cLo, cHi, err := FeasibleCutoffRange(lambda, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stay away from the feasibility edges, where 1/(1-rho) poles make the
+	// (continuous) curve arbitrarily steep.
+	logLo, logHi := math.Log(cLo), math.Log(cHi)
+	span := logHi - logLo
+	logLo += 0.05 * span
+	logHi -= 0.05 * span
+	const n = 400
+	prev := math.NaN()
+	for i := 0; i <= n; i++ {
+		c := math.Exp(logLo + (logHi-logLo)*float64(i)/n)
+		s := NewSITA(lambda, size, []float64{c}).MeanSlowdown()
+		if !math.IsNaN(prev) {
+			if ratio := s / prev; ratio > 2 || ratio < 0.5 {
+				t.Fatalf("jump at cutoff %v: %v -> %v", c, prev, s)
+			}
+		}
+		prev = s
+	}
+}
+
+func TestSITAWithEmpiricalDistribution(t *testing.T) {
+	// The whole analysis pipeline must accept an empirical (trace-derived)
+	// size distribution: the paper derives cutoffs from trace halves.
+	bp := c90ish()
+	rng := sim.NewRNG(55, 0)
+	xs := make([]float64, 30000)
+	for i := range xs {
+		xs[i] = bp.Sample(rng)
+	}
+	emp := dist.NewEmpirical(xs)
+	lambda := 2 * 0.6 / emp.Moment(1)
+	cut := EqualLoadCutoff(emp)
+	r := NewSITA(lambda, emp, []float64{cut}).Analyze()
+	if math.Abs(r.LoadFractions[0]-0.5) > 0.02 {
+		t.Fatalf("empirical SITA-E load fraction %v, want ~0.5", r.LoadFractions[0])
+	}
+	// Cutoff searches work on empirical distributions too.
+	if _, err := OptimalCutoff(lambda, emp); err != nil {
+		t.Fatalf("optimal cutoff on empirical: %v", err)
+	}
+	if _, err := FairCutoff(lambda, emp); err != nil {
+		t.Fatalf("fair cutoff on empirical: %v", err)
+	}
+	// Analytic results on the empirical sample track the parametric truth.
+	parametric := NewSITA(2*0.6/bp.Moment(1), bp, []float64{EqualLoadCutoff(bp)}).MeanSlowdown()
+	empirical := r.MeanSlowdown
+	if ratio := empirical / parametric; ratio < 0.3 || ratio > 3 {
+		t.Fatalf("empirical analysis %v vs parametric %v (off > 3x)", empirical, parametric)
+	}
+}
+
+func TestEqualLoadCutoffIndependentOfRate(t *testing.T) {
+	size := c90ish()
+	// SITA-E's cutoff depends only on the size distribution.
+	c1 := EqualLoadCutoff(size)
+	c2 := CutoffForShortLoad(5, size, 2.5*size.Moment(1))
+	if math.Abs(c1-c2)/c1 > 1e-6 {
+		t.Fatalf("equal-load cutoff rate-dependent: %v vs %v", c1, c2)
+	}
+}
+
+func TestMGhApproachesMM1ScalingAtManyServers(t *testing.T) {
+	// At fixed per-server load, M/G/h waiting vanishes as h grows (economy
+	// of scale), while the single-server wait stays put.
+	size := dist.NewH2Balanced(1, 8)
+	w1 := NewMGh(0.7, size, 1).MeanWait()
+	w64 := NewMGh(0.7*64, size, 64).MeanWait()
+	if w64 > w1/100 {
+		t.Fatalf("M/G/64 wait %v should be tiny vs M/G/1 %v", w64, w1)
+	}
+}
+
+func TestReportVarianceNonNegative(t *testing.T) {
+	size := c90ish()
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed, 0)
+		load := 0.2 + 0.7*rng.Float64()
+		lambda := 2 * load / size.Moment(1)
+		cut := size.Quantile(0.2 + 0.79*rng.Float64())
+		r := NewSITA(lambda, size, []float64{cut}).Analyze()
+		for _, h := range r.Hosts {
+			if h.Load < 1 && h.JobFraction > 0 && h.VarSlowdown < -1e-9 {
+				return false
+			}
+		}
+		if r.SystemLoad < 1 && !math.IsInf(r.MeanSlowdown, 1) && r.VarSlowdown < -1e-6 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMG1PS(t *testing.T) {
+	q := MG1PS{Lambda: 0.25, Size: dist.NewExponential(2)} // rho = 0.5
+	if got := q.MeanSlowdown(); got != 2 {
+		t.Fatalf("PS slowdown = %v, want 2", got)
+	}
+	if got := q.MeanResponse(); got != 4 {
+		t.Fatalf("PS response = %v, want 4", got)
+	}
+	over := MG1PS{Lambda: 1, Size: dist.NewExponential(2)}
+	if !math.IsInf(over.MeanSlowdown(), 1) || !math.IsInf(over.MeanResponse(), 1) {
+		t.Fatal("unstable PS should report Inf")
+	}
+}
+
+func TestMG1PSInsensitivity(t *testing.T) {
+	// PS mean slowdown depends only on rho, not the distribution shape.
+	lambdaFor := func(d dist.Distribution) float64 { return 0.6 / d.Moment(1) }
+	a := MG1PS{Lambda: lambdaFor(dist.NewExponential(5)), Size: dist.NewExponential(5)}
+	b := MG1PS{Lambda: lambdaFor(c90ish()), Size: c90ish()}
+	if math.Abs(a.MeanSlowdown()-b.MeanSlowdown()) > 1e-9 {
+		t.Fatalf("PS not insensitive: %v vs %v", a.MeanSlowdown(), b.MeanSlowdown())
+	}
+}

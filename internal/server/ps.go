@@ -1,0 +1,237 @@
+package server
+
+import (
+	"fmt"
+	"math"
+
+	"sita/internal/sim"
+	"sita/internal/stats"
+	"sita/internal/workload"
+)
+
+// Processor-Sharing hosts. The paper's architectural model forbids
+// time-sharing (run-to-completion is the norm for memory-bound
+// supercomputing jobs), but its fairness definition is motivated by
+// footnote 1: "Processor-Sharing ... is ultimately fair in that every job
+// experiences the same expected slowdown." This file provides PS hosts so
+// that experiments can draw that ideal-fairness reference line: an M/G/1-PS
+// host gives every job expected slowdown 1/(1-rho) regardless of its size.
+
+// psJob tracks one job's remaining work inside a PS host.
+type psJob struct {
+	job       workload.Job
+	remaining float64
+}
+
+// psHost serves all resident jobs simultaneously, each at rate 1/n.
+type psHost struct {
+	index      int
+	jobs       []psJob
+	lastUpdate float64
+	pending    sim.Handle // scheduled completion of the current minimum
+	engine     *sim.Engine
+	onDone     func(rec JobRecord)
+	workDone   float64
+}
+
+// advance charges elapsed processing time to every resident job.
+func (h *psHost) advance(now float64) {
+	if len(h.jobs) > 0 {
+		each := (now - h.lastUpdate) / float64(len(h.jobs))
+		for i := range h.jobs {
+			h.jobs[i].remaining -= each
+		}
+	}
+	h.lastUpdate = now
+}
+
+// reschedule cancels any pending completion and schedules the next one.
+func (h *psHost) reschedule(now float64) {
+	h.pending.Cancel()
+	if len(h.jobs) == 0 {
+		return
+	}
+	minRemaining := math.Inf(1)
+	for i := range h.jobs {
+		if h.jobs[i].remaining < minRemaining {
+			minRemaining = h.jobs[i].remaining
+		}
+	}
+	if minRemaining < 0 {
+		minRemaining = 0
+	}
+	delay := minRemaining * float64(len(h.jobs))
+	h.pending = h.engine.After(delay, h.complete)
+}
+
+// complete retires the job whose completion this event was scheduled for —
+// any state change since scheduling would have canceled the event, so the
+// current minimum-remaining job is finishing now — plus every other job
+// within floating-point reach of zero. Retiring by comparison with the
+// minimum (rather than an absolute epsilon) avoids a livelock when the
+// remaining sliver is smaller than the clock's ulp and virtual time can no
+// longer advance.
+func (h *psHost) complete(now float64) {
+	h.advance(now)
+	if len(h.jobs) == 0 {
+		return
+	}
+	minRemaining := h.jobs[0].remaining
+	for _, pj := range h.jobs[1:] {
+		if pj.remaining < minRemaining {
+			minRemaining = pj.remaining
+		}
+	}
+	tol := minRemaining + 1e-9*(1+math.Abs(now))
+	kept := h.jobs[:0]
+	for _, pj := range h.jobs {
+		if pj.remaining <= tol {
+			h.workDone += pj.job.Size
+			// Record Start so that Wait() + Size == Departure - Arrival:
+			// under PS the whole sharing-induced stretch counts as "wait".
+			rec := JobRecord{
+				ID:        pj.job.ID,
+				Host:      h.index,
+				Arrival:   pj.job.Arrival,
+				Size:      pj.job.Size,
+				Start:     now - pj.job.Size,
+				Departure: now,
+			}
+			if h.onDone != nil {
+				h.onDone(rec)
+			}
+		} else {
+			kept = append(kept, pj)
+		}
+	}
+	h.jobs = kept
+	h.reschedule(now)
+}
+
+// add admits a job at the current instant.
+func (h *psHost) add(job workload.Job, now float64) {
+	h.advance(now)
+	h.jobs = append(h.jobs, psJob{job: job, remaining: job.Size})
+	h.reschedule(now)
+}
+
+// PSSystem is a distributed server whose hosts run Processor-Sharing
+// instead of FCFS run-to-completion. Pull-based policies (Central) are not
+// meaningful under PS — a PS host is never "busy" — so Assign must return a
+// host index.
+type PSSystem struct {
+	engine *sim.Engine
+	hosts  []*psHost
+	policy Policy
+}
+
+// NewPS builds a PS distributed server.
+func NewPS(h int, p Policy, onComplete func(JobRecord)) *PSSystem {
+	if h <= 0 {
+		panic(fmt.Sprintf("server: need at least one host, got %d", h))
+	}
+	if p == nil {
+		panic("server: nil policy")
+	}
+	eng := &sim.Engine{}
+	s := &PSSystem{engine: eng, policy: p}
+	for i := 0; i < h; i++ {
+		s.hosts = append(s.hosts, &psHost{index: i, engine: eng, onDone: onComplete})
+	}
+	return s
+}
+
+// Hosts reports the host count.
+func (s *PSSystem) Hosts() int { return len(s.hosts) }
+
+// NumJobs reports jobs resident at host i.
+func (s *PSSystem) NumJobs(i int) int { return len(s.hosts[i].jobs) }
+
+// WorkLeft reports the unfinished work at host i at the current instant.
+func (s *PSSystem) WorkLeft(i int) float64 {
+	h := s.hosts[i]
+	h.advance(s.engine.Now())
+	total := 0.0
+	for _, pj := range h.jobs {
+		total += pj.remaining
+	}
+	return total
+}
+
+// Idle reports whether host i has no jobs.
+func (s *PSSystem) Idle(i int) bool { return len(s.hosts[i].jobs) == 0 }
+
+// Simulate runs the jobs (sorted by arrival) to completion.
+func (s *PSSystem) Simulate(jobs []workload.Job) {
+	prev := 0.0
+	for i, j := range jobs {
+		if j.Arrival < prev {
+			panic(fmt.Sprintf("server: job %d arrives at %v before %v", i, j.Arrival, prev))
+		}
+		prev = j.Arrival
+		job := j
+		s.engine.At(j.Arrival, func(now float64) {
+			idx := s.policy.Assign(job, s)
+			if idx < 0 || idx >= len(s.hosts) {
+				panic(fmt.Sprintf("server: PS policy %q returned host %d of %d",
+					s.policy.Name(), idx, len(s.hosts)))
+			}
+			s.hosts[idx].add(job, now)
+		})
+	}
+	s.engine.Run()
+}
+
+// RunPS simulates the job list on PS hosts and aggregates metrics like Run.
+// A record's Wait is the sharing-induced stretch (response minus size), so
+// Wait + Size = Response holds exactly as under FCFS.
+func RunPS(jobs []workload.Job, cfg Config) *Result {
+	if cfg.Hosts <= 0 {
+		panic(fmt.Sprintf("server: config needs hosts > 0, got %d", cfg.Hosts))
+	}
+	if cfg.WarmupFraction < 0 || cfg.WarmupFraction >= 1 {
+		panic(fmt.Sprintf("server: warmup fraction %v outside [0, 1)", cfg.WarmupFraction))
+	}
+	renumbered := make([]workload.Job, len(jobs))
+	copy(renumbered, jobs)
+	for i := range renumbered {
+		renumbered[i].ID = i
+	}
+	warmup := int(cfg.WarmupFraction * float64(len(jobs)))
+	res := &Result{
+		PolicyName:  cfg.Policy.Name() + "/PS",
+		Hosts:       cfg.Hosts,
+		PerHostJobs: make([]int64, cfg.Hosts),
+		PerHostWork: make([]float64, cfg.Hosts),
+	}
+	if cfg.SizeClass != nil {
+		res.Classes = stats.NewClassTally()
+	}
+	sys := NewPS(cfg.Hosts, cfg.Policy, func(rec JobRecord) {
+		res.PerHostJobs[rec.Host]++
+		if rec.Departure > res.Horizon {
+			res.Horizon = rec.Departure
+		}
+		if rec.ID < warmup {
+			return
+		}
+		slow := rec.Slowdown()
+		if slow < 1 {
+			slow = 1 // floating-point guard for lone jobs
+		}
+		res.Slowdown.Add(slow)
+		res.Response.Add(rec.Response())
+		res.Wait.Add(rec.Wait())
+		if res.Classes != nil {
+			res.Classes.Add(cfg.SizeClass(rec.Size), slow)
+		}
+		if cfg.KeepRecords {
+			res.Records = append(res.Records, rec)
+		}
+	})
+	sys.Simulate(renumbered)
+	for i, h := range sys.hosts {
+		res.PerHostWork[i] = h.workDone
+	}
+	return res
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"fmt"
+
+	"sita/internal/stats"
+	"sita/internal/workload"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Hosts  int
+	Policy Policy
+	// WarmupFraction is the fraction of jobs (in arrival order) whose
+	// completions are excluded from statistics; they still occupy the
+	// system. Mean slowdown is tail-sensitive, so excluding the cold-start
+	// transient matters at high load.
+	WarmupFraction float64
+	// KeepRecords retains every per-job record in the result (memory
+	// proportional to the number of jobs).
+	KeepRecords bool
+	// SizeClass, when non-nil, maps a job size to a class label for
+	// per-class slowdown statistics (the fairness analyses).
+	SizeClass func(size float64) int
+	// CentralOrder selects the central-queue discipline for pull policies
+	// (default CentralFCFS).
+	CentralOrder CentralOrder
+}
+
+// Result aggregates one run's metrics.
+type Result struct {
+	PolicyName string
+	Hosts      int
+
+	Slowdown stats.Stream
+	Response stats.Stream
+	Wait     stats.Stream
+
+	// PerHostJobs and PerHostWork count completed jobs and completed work
+	// per host (warmup included: they describe where load went, not delay).
+	PerHostJobs []int64
+	PerHostWork []float64
+
+	// Horizon is the completion time of the last job.
+	Horizon float64
+
+	// Classes holds per-class slowdown streams when Config.SizeClass is
+	// set.
+	Classes *stats.ClassTally
+
+	Records []JobRecord
+}
+
+// LoadFractions reports each host's share of the total completed work.
+func (r *Result) LoadFractions() []float64 {
+	total := 0.0
+	for _, w := range r.PerHostWork {
+		total += w
+	}
+	out := make([]float64, len(r.PerHostWork))
+	if total == 0 {
+		return out
+	}
+	for i, w := range r.PerHostWork {
+		out[i] = w / total
+	}
+	return out
+}
+
+// Utilization reports the fraction of the run each host spent busy.
+func (r *Result) Utilization(i int) float64 {
+	if r.Horizon == 0 {
+		return 0
+	}
+	return r.PerHostWork[i] / r.Horizon
+}
+
+// Run simulates the job list under the configuration and returns aggregated
+// metrics. Jobs are renumbered by arrival order; records carry that
+// ordinal as their ID.
+func Run(jobs []workload.Job, cfg Config) *Result {
+	if cfg.Hosts <= 0 {
+		panic(fmt.Sprintf("server: config needs hosts > 0, got %d", cfg.Hosts))
+	}
+	if cfg.WarmupFraction < 0 || cfg.WarmupFraction >= 1 {
+		panic(fmt.Sprintf("server: warmup fraction %v outside [0, 1)", cfg.WarmupFraction))
+	}
+	renumbered := make([]workload.Job, len(jobs))
+	copy(renumbered, jobs)
+	for i := range renumbered {
+		renumbered[i].ID = i
+	}
+	warmup := int(cfg.WarmupFraction * float64(len(jobs)))
+
+	res := &Result{
+		PolicyName:  cfg.Policy.Name(),
+		Hosts:       cfg.Hosts,
+		PerHostJobs: make([]int64, cfg.Hosts),
+		PerHostWork: make([]float64, cfg.Hosts),
+	}
+	if cfg.SizeClass != nil {
+		res.Classes = stats.NewClassTally()
+	}
+	sys := NewWithOrder(cfg.Hosts, cfg.Policy, cfg.CentralOrder, func(rec JobRecord) {
+		res.PerHostJobs[rec.Host]++
+		res.PerHostWork[rec.Host] += rec.Size
+		if rec.Departure > res.Horizon {
+			res.Horizon = rec.Departure
+		}
+		if rec.ID < warmup {
+			return
+		}
+		res.Slowdown.Add(rec.Slowdown())
+		res.Response.Add(rec.Response())
+		res.Wait.Add(rec.Wait())
+		if res.Classes != nil {
+			res.Classes.Add(cfg.SizeClass(rec.Size), rec.Slowdown())
+		}
+		if cfg.KeepRecords {
+			res.Records = append(res.Records, rec)
+		}
+	})
+	sys.Simulate(renumbered)
+	return res
+}

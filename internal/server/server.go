@@ -1,0 +1,288 @@
+// Package server simulates the paper's architectural model: a distributed
+// server of h identical hosts fed by one job stream through a dispatcher.
+// Each host serves its queue in FCFS order, one job at a time,
+// run-to-completion (no preemption, no time-sharing). The dispatcher runs a
+// pluggable task assignment policy; pull-based policies (Central-Queue) hold
+// jobs at the dispatcher until a host goes idle.
+package server
+
+import (
+	"fmt"
+
+	"sita/internal/sim"
+	"sita/internal/workload"
+)
+
+// Central is returned by a Policy to hold the arriving job in the
+// dispatcher's central queue instead of pushing it to a host.
+const Central = -1
+
+// CentralOrder selects the order in which the dispatcher's central queue
+// releases held jobs to idle hosts.
+type CentralOrder int
+
+// Central-queue disciplines.
+const (
+	// CentralFCFS releases held jobs in arrival order (the paper's
+	// Central-Queue policy, equivalent to Least-Work-Left).
+	CentralFCFS CentralOrder = iota
+	// CentralSJF releases the shortest held job first — the
+	// "favor short jobs" direction the paper's conclusions discuss, which
+	// improves mean slowdown but starves long jobs under heavy tails.
+	CentralSJF
+)
+
+// View is the system state a policy may consult when assigning a job. All
+// queries refer to the instant of the arrival being dispatched.
+type View interface {
+	// Hosts reports the number of hosts.
+	Hosts() int
+	// NumJobs reports how many jobs are at host i (queued plus running).
+	NumJobs(i int) int
+	// WorkLeft reports the total unfinished work at host i, including the
+	// remainder of the running job.
+	WorkLeft(i int) float64
+	// Idle reports whether host i has no work at all.
+	Idle(i int) bool
+}
+
+// Policy is a task assignment rule. Assign returns a host index in
+// [0, view.Hosts()) or Central. Policies may be stateful (Round-Robin) and
+// are therefore not shared across concurrent simulations.
+type Policy interface {
+	Name() string
+	Assign(job workload.Job, v View) int
+}
+
+// JobRecord is the outcome of one simulated job.
+type JobRecord struct {
+	ID        int
+	Host      int
+	Arrival   float64
+	Size      float64
+	Start     float64
+	Departure float64
+}
+
+// Wait reports time spent queued.
+func (r JobRecord) Wait() float64 { return r.Start - r.Arrival }
+
+// Response reports arrival-to-completion time, computed as wait plus
+// service so that a job served immediately has response exactly equal to
+// its size (Departure - Arrival can round below Size in floating point).
+func (r JobRecord) Response() float64 { return r.Wait() + r.Size }
+
+// Slowdown reports response time divided by service requirement (>= 1).
+func (r JobRecord) Slowdown() float64 { return r.Response() / r.Size }
+
+// host is the simulator's per-host state.
+type host struct {
+	queue   []workload.Job // waiting jobs, FIFO
+	running bool
+	readyAt float64 // when all currently assigned work completes
+	// jobs counts queued+running; workDone accumulates service time of
+	// completed work for utilization accounting.
+	jobs     int
+	workDone float64
+}
+
+// System is the simulated distributed server. Build with New, feed jobs in
+// arrival order via the Run functions.
+type System struct {
+	engine *sim.Engine
+	hosts  []host
+	policy Policy
+
+	central      []workload.Job // dispatcher queue for pull policies
+	centralOrder CentralOrder
+
+	onComplete func(JobRecord)
+
+	// Little's-law accounting: time-integral of the number of waiting jobs
+	// (queued at hosts or held centrally, excluding jobs in service).
+	queueArea   float64
+	waitingJobs int
+	lastAccrual float64
+}
+
+// New builds a distributed server with h hosts and the given policy, using
+// a FCFS central queue.
+func New(h int, p Policy, onComplete func(JobRecord)) *System {
+	return NewWithOrder(h, p, CentralFCFS, onComplete)
+}
+
+// NewWithOrder builds a distributed server with an explicit central-queue
+// discipline.
+func NewWithOrder(h int, p Policy, order CentralOrder, onComplete func(JobRecord)) *System {
+	if h <= 0 {
+		panic(fmt.Sprintf("server: need at least one host, got %d", h))
+	}
+	if p == nil {
+		panic("server: nil policy")
+	}
+	return &System{
+		engine:       &sim.Engine{},
+		hosts:        make([]host, h),
+		policy:       p,
+		centralOrder: order,
+		onComplete:   onComplete,
+	}
+}
+
+// View interface implementation: the System itself is the policy's view.
+
+// Hosts reports the host count.
+func (s *System) Hosts() int { return len(s.hosts) }
+
+// NumJobs reports queued+running jobs at host i.
+func (s *System) NumJobs(i int) int { return s.hosts[i].jobs }
+
+// WorkLeft reports remaining work at host i at the current instant.
+func (s *System) WorkLeft(i int) float64 {
+	left := s.hosts[i].readyAt - s.engine.Now()
+	if left < 0 || !s.hosts[i].running && len(s.hosts[i].queue) == 0 {
+		return 0
+	}
+	return left
+}
+
+// Idle reports whether host i is empty.
+func (s *System) Idle(i int) bool { return s.hosts[i].jobs == 0 }
+
+// Simulate runs the full job list through the system and waits for every
+// job to finish. Jobs must be sorted by arrival time.
+func (s *System) Simulate(jobs []workload.Job) {
+	prev := 0.0
+	for i, j := range jobs {
+		if j.Arrival < prev {
+			panic(fmt.Sprintf("server: job %d arrives at %v before %v", i, j.Arrival, prev))
+		}
+		prev = j.Arrival
+		job := j
+		s.engine.At(j.Arrival, func(now float64) { s.arrive(job, now) })
+	}
+	s.engine.Run()
+}
+
+func (s *System) arrive(job workload.Job, now float64) {
+	idx := s.policy.Assign(job, s)
+	if idx == Central {
+		// Hold at the dispatcher; a host will pull it when free. If some
+		// host is already idle the policy should have returned it, but be
+		// robust and drain immediately.
+		s.accrueQueue(now)
+		s.waitingJobs++
+		s.central = append(s.central, job)
+		for i := range s.hosts {
+			if s.hosts[i].jobs == 0 && len(s.central) > 0 {
+				s.startNextCentral(i, now)
+			}
+		}
+		return
+	}
+	if idx < 0 || idx >= len(s.hosts) {
+		panic(fmt.Sprintf("server: policy %q returned host %d of %d", s.policy.Name(), idx, len(s.hosts)))
+	}
+	h := &s.hosts[idx]
+	h.jobs++
+	if h.running {
+		// The job's work joins the backlog now; start() must not add it
+		// again when the job is later dequeued.
+		s.accrueQueue(now)
+		s.waitingJobs++
+		h.queue = append(h.queue, job)
+		h.readyAt += job.Size
+		return
+	}
+	h.readyAt = now + job.Size
+	s.start(idx, job, now)
+}
+
+// start begins service for a job whose work is already accounted in the
+// host's readyAt backlog.
+func (s *System) start(idx int, job workload.Job, now float64) {
+	h := &s.hosts[idx]
+	h.running = true
+	depart := now + job.Size
+	rec := JobRecord{
+		ID: job.ID, Host: idx,
+		Arrival: job.Arrival, Size: job.Size,
+		Start: now, Departure: depart,
+	}
+	s.engine.At(depart, func(t float64) { s.depart(idx, rec, t) })
+}
+
+func (s *System) depart(idx int, rec JobRecord, now float64) {
+	h := &s.hosts[idx]
+	h.running = false
+	h.jobs--
+	h.workDone += rec.Size
+	if s.onComplete != nil {
+		s.onComplete(rec)
+	}
+	if len(h.queue) > 0 {
+		next := h.queue[0]
+		// Re-slice; allow the backing array to be reused when drained.
+		h.queue = h.queue[1:]
+		if len(h.queue) == 0 {
+			h.queue = nil
+		}
+		s.accrueQueue(now)
+		s.waitingJobs--
+		s.start(idx, next, now)
+		return
+	}
+	if len(s.central) > 0 {
+		s.startNextCentral(idx, now)
+	}
+}
+
+func (s *System) startNextCentral(idx int, now float64) {
+	pick := 0
+	if s.centralOrder == CentralSJF {
+		for i, j := range s.central[1:] {
+			if j.Size < s.central[pick].Size {
+				pick = i + 1
+			}
+		}
+	}
+	job := s.central[pick]
+	if pick == 0 {
+		s.central = s.central[1:]
+	} else {
+		s.central = append(s.central[:pick], s.central[pick+1:]...)
+	}
+	if len(s.central) == 0 {
+		s.central = nil
+	}
+	s.accrueQueue(now)
+	s.waitingJobs--
+	h := &s.hosts[idx]
+	h.jobs++
+	h.readyAt = now + job.Size
+	s.start(idx, job, now)
+}
+
+// accrueQueue advances the waiting-jobs time integral to the current
+// instant; call before every change to the waiting population.
+func (s *System) accrueQueue(now float64) {
+	s.queueArea += float64(s.waitingJobs) * (now - s.lastAccrual)
+	s.lastAccrual = now
+}
+
+// MeanQueueLength reports the time-averaged number of waiting jobs over the
+// simulated horizon — E[Q] in the paper's theorem 1, for checking Little's
+// law E[Q] = lambda*E[W] against the simulated mean wait.
+func (s *System) MeanQueueLength() float64 {
+	if s.engine.Now() == 0 {
+		return 0
+	}
+	s.accrueQueue(s.engine.Now())
+	return s.queueArea / s.engine.Now()
+}
+
+// WorkDone reports the total service time completed by host i so far.
+func (s *System) WorkDone(i int) float64 { return s.hosts[i].workDone }
+
+// Now reports the simulator clock.
+func (s *System) Now() float64 { return s.engine.Now() }

@@ -1,0 +1,162 @@
+// Package sim is a minimal deterministic discrete-event simulation kernel:
+// a virtual clock and a time-ordered event queue with stable FIFO ordering
+// for simultaneous events. The distributed-server model in internal/server
+// runs on top of it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type Event func(now float64)
+
+type item struct {
+	at  float64
+	seq uint64 // tie-breaker: FIFO among simultaneous events
+	fn  Event
+	// index within the heap, maintained by the heap interface, needed for
+	// cancellation.
+	index    int
+	canceled bool
+}
+
+// Handle identifies a scheduled event so it can be canceled.
+type Handle struct{ it *item }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (h Handle) Cancel() {
+	if h.it != nil {
+		h.it.canceled = true
+	}
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is a
+// ready-to-use engine starting at time 0.
+type Engine struct {
+	now     float64
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired reports how many events have executed, useful for progress and
+// complexity assertions in tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are scheduled (including canceled ones
+// not yet drained).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it is always a model bug.
+func (e *Engine) At(t float64, fn Event) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	it := &item{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, it)
+	return Handle{it: it}
+}
+
+// After schedules fn to run delay time units from now.
+func (e *Engine) After(delay float64, fn Event) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Stop makes the current Run call return after the executing event
+// completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue drains or Stop is
+// called.
+func (e *Engine) Run() {
+	e.RunUntil(-1)
+}
+
+// RunUntil executes events with timestamp <= horizon (or all events when
+// horizon < 0). The clock advances to each event's time; if the queue drains
+// earlier the clock stays at the last event.
+func (e *Engine) RunUntil(horizon float64) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		it := e.events[0]
+		if horizon >= 0 && it.at > horizon {
+			e.now = horizon
+			return
+		}
+		heap.Pop(&e.events)
+		if it.canceled {
+			continue
+		}
+		e.now = it.at
+		e.fired++
+		it.fn(e.now)
+	}
+}
+
+// Step executes exactly one non-canceled event, reporting whether one was
+// available.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		it := heap.Pop(&e.events).(*item)
+		if it.canceled {
+			continue
+		}
+		e.now = it.at
+		e.fired++
+		it.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// NewRNG derives a deterministic PCG generator from a seed and a stream
+// index. Separate streams decouple, e.g., arrival times from job sizes so
+// that changing one workload dimension does not perturb the other.
+func NewRNG(seed uint64, stream uint64) *rand.Rand {
+	// splitmix-style mixing so nearby (seed, stream) pairs decorrelate.
+	z := seed + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return rand.New(rand.NewPCG(seed, z^(z>>31)))
+}

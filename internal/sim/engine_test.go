@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	var e Engine
+	var fired []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, at := range times {
+		e.At(at, func(now float64) { fired = append(fired, now) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatalf("events fired out of order: %v", fired)
+	}
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(times))
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", e.Now())
+	}
+}
+
+func TestEngineFIFOForSimultaneousEvents(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1.0, func(float64) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	var e Engine
+	var log []float64
+	e.After(1, func(now float64) {
+		log = append(log, now)
+		e.After(2, func(now float64) {
+			log = append(log, now)
+		})
+	})
+	e.Run()
+	if len(log) != 2 || log[0] != 1 || log[1] != 3 {
+		t.Fatalf("nested scheduling log = %v, want [1 3]", log)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(float64(i), func(float64) { count++ })
+	}
+	e.RunUntil(5)
+	if count != 5 {
+		t.Fatalf("ran %d events, want 5", count)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want horizon 5", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", e.Pending())
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("after full run count = %d, want 10", count)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(float64(i), func(float64) {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("stop did not halt: count = %d", count)
+	}
+	e.Run() // resumable
+	if count != 10 {
+		t.Fatalf("resume failed: count = %d", count)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	h := e.At(1, func(float64) { fired = true })
+	h.Cancel()
+	h.Cancel() // double-cancel is fine
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("fired count = %d, want 0", e.Fired())
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.At(5, func(float64) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.At(1, func(float64) {})
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	e.After(-1, func(float64) {})
+}
+
+func TestEngineStep(t *testing.T) {
+	var e Engine
+	count := 0
+	e.At(1, func(float64) { count++ })
+	e.At(2, func(float64) { count++ })
+	if !e.Step() || count != 1 {
+		t.Fatal("first step failed")
+	}
+	if !e.Step() || count != 2 {
+		t.Fatal("second step failed")
+	}
+	if e.Step() {
+		t.Fatal("step on empty queue should report false")
+	}
+}
+
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var e Engine
+		var fired []float64
+		for _, r := range raw {
+			at := r
+			if at < 0 {
+				at = -at
+			}
+			if at != at { // NaN
+				continue
+			}
+			e.At(at, func(now float64) { fired = append(fired, now) })
+		}
+		e.Run()
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRNGDeterminismAndStreams(t *testing.T) {
+	a := NewRNG(1, 0)
+	b := NewRNG(1, 0)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same (seed, stream) should be identical")
+		}
+	}
+	c := NewRNG(1, 1)
+	d := NewRNG(1, 0)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Float64() == d.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams 0 and 1 nearly identical (%d collisions)", same)
+	}
+}
+
+func TestNewRNGStreamsUncorrelated(t *testing.T) {
+	// Crude correlation check across adjacent seeds.
+	var xs, ys []float64
+	for seed := uint64(0); seed < 500; seed++ {
+		xs = append(xs, NewRNG(seed, 0).Float64())
+		ys = append(ys, NewRNG(seed+1, 0).Float64())
+	}
+	// Pearson correlation should be near zero.
+	n := float64(len(xs))
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		sxy += (xs[i] - mx) * (ys[i] - my)
+		sxx += (xs[i] - mx) * (xs[i] - mx)
+		syy += (ys[i] - my) * (ys[i] - my)
+	}
+	r := sxy / (sxx * syy)
+	if r > 0.2 || r < -0.2 {
+		t.Fatalf("adjacent-seed correlation = %v", r)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		for j := 0; j < 1000; j++ {
+			e.At(rng.Float64()*1000, func(float64) {})
+		}
+		e.Run()
+	}
+}
+
+func TestEngineRandomCancelStress(t *testing.T) {
+	// Random interleavings of scheduling and canceling must never fire a
+	// canceled event, never fire out of order, and always drain.
+	rng := rand.New(rand.NewPCG(99, 100))
+	for trial := 0; trial < 50; trial++ {
+		var e Engine
+		type tracked struct {
+			h        Handle
+			at       float64
+			canceled bool
+		}
+		var items []*tracked
+		fired := map[*tracked]bool{}
+		lastTime := -1.0
+		for i := 0; i < 200; i++ {
+			it := &tracked{at: rng.Float64() * 100}
+			it.h = e.At(it.at, func(now float64) {
+				if now < lastTime {
+					t.Fatalf("trial %d: time went backwards", trial)
+				}
+				lastTime = now
+				if it.canceled {
+					t.Fatalf("trial %d: canceled event fired", trial)
+				}
+				fired[it] = true
+			})
+			items = append(items, it)
+			// Randomly cancel an earlier event.
+			if rng.Float64() < 0.3 {
+				victim := items[rng.IntN(len(items))]
+				if !fired[victim] {
+					victim.h.Cancel()
+					victim.canceled = true
+				}
+			}
+		}
+		e.Run()
+		for _, it := range items {
+			if !it.canceled && !fired[it] {
+				t.Fatalf("trial %d: live event never fired", trial)
+			}
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("trial %d: %d events left pending", trial, e.Pending())
+		}
+	}
+}
+
+func TestEngineStepInterleavedWithRunUntil(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 1; i <= 6; i++ {
+		i := i
+		e.At(float64(i), func(float64) { order = append(order, i) })
+	}
+	if !e.Step() { // fires event 1
+		t.Fatal("step failed")
+	}
+	e.RunUntil(4) // fires 2, 3, 4
+	e.Run()       // fires the rest
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("mixed stepping broke order: %v", order)
+		}
+	}
+}
+
+func TestEngineFiredCounter(t *testing.T) {
+	var e Engine
+	for i := 0; i < 10; i++ {
+		e.At(float64(i), func(float64) {})
+	}
+	h := e.At(100, func(float64) {})
+	h.Cancel()
+	e.Run()
+	if e.Fired() != 10 {
+		t.Fatalf("fired = %d, want 10 (canceled events don't count)", e.Fired())
+	}
+}

@@ -1,0 +1,273 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample collects raw observations for exact quantile computation. Use it
+// when the number of observations is modest (per-experiment summaries); for
+// million-job runs prefer Stream plus a Histogram.
+//
+// The zero value is an empty sample.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns a sample pre-sized for n observations.
+func NewSample(n int) *Sample {
+	return &Sample{xs: make([]float64, 0, n)}
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddAll records a batch of observations.
+func (s *Sample) AddAll(xs []float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// Len reports the number of observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+// Values returns the observations in sorted order. The returned slice is
+// owned by the sample; callers must not modify it.
+func (s *Sample) Values() []float64 {
+	s.ensureSorted()
+	return s.xs
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
+// between order statistics (type-7, the R default). Returns NaN on an empty
+// sample.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[len(s.xs)-1]
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s.xs) {
+		return s.xs[len(s.xs)-1]
+	}
+	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+}
+
+// Median returns the 0.5 quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Mean returns the sample mean (0 if empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (s *Sample) Variance() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(n-1)
+}
+
+// Moment returns the raw sample moment E[X^j]; j may be negative (e.g. -1
+// for E[1/X]) as long as no observation is zero.
+func (s *Sample) Moment(j float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += math.Pow(x, j)
+	}
+	return sum / float64(len(s.xs))
+}
+
+// TailLoadFraction reports the fraction of the total sum contributed by the
+// largest frac-fraction of observations. For heavy-tailed job-size samples
+// this is the "biggest 1.3% of jobs make up half the load" statistic from
+// the paper.
+func (s *Sample) TailLoadFraction(frac float64) float64 {
+	if len(s.xs) == 0 || frac <= 0 {
+		return 0
+	}
+	s.ensureSorted()
+	total := 0.0
+	for _, x := range s.xs {
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	k := int(math.Ceil(frac * float64(len(s.xs))))
+	if k > len(s.xs) {
+		k = len(s.xs)
+	}
+	top := 0.0
+	for _, x := range s.xs[len(s.xs)-k:] {
+		top += x
+	}
+	return top / total
+}
+
+// Correlation computes the Pearson correlation coefficient of two
+// equal-length series. It returns 0 when either series is constant and
+// panics if the lengths differ (a programming error).
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: correlation length mismatch %d != %d", len(xs), len(ys)))
+	}
+	n := float64(len(xs))
+	if n == 0 {
+		return 0
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// ClassTally keeps one Stream per integer class. It is used for per-host and
+// per-size-class slowdown statistics (the fairness analyses).
+type ClassTally struct {
+	streams map[int]*Stream
+}
+
+// NewClassTally returns an empty tally.
+func NewClassTally() *ClassTally {
+	return &ClassTally{streams: make(map[int]*Stream)}
+}
+
+// Add records observation x under class c.
+func (t *ClassTally) Add(c int, x float64) {
+	s, ok := t.streams[c]
+	if !ok {
+		s = &Stream{}
+		t.streams[c] = s
+	}
+	s.Add(x)
+}
+
+// Class returns the stream for class c, or nil if the class has no
+// observations.
+func (t *ClassTally) Class(c int) *Stream { return t.streams[c] }
+
+// Classes returns the observed class labels in ascending order.
+func (t *ClassTally) Classes() []int {
+	cs := make([]int, 0, len(t.streams))
+	for c := range t.streams {
+		cs = append(cs, c)
+	}
+	sort.Ints(cs)
+	return cs
+}
+
+// Total merges all classes into a single stream.
+func (t *ClassTally) Total() *Stream {
+	var total Stream
+	for _, s := range t.streams {
+		total.Merge(s)
+	}
+	return &total
+}
+
+// MaxSpread reports the largest ratio between any two class means; 1 means
+// perfectly equal means (the fairness ideal). Classes with no observations
+// are ignored. Returns 1 when fewer than two classes have data or when a
+// class mean is zero.
+func (t *ClassTally) MaxSpread() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	count := 0
+	for _, s := range t.streams {
+		if s.Count() == 0 {
+			continue
+		}
+		m := s.Mean()
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+		count++
+	}
+	if count < 2 || lo <= 0 {
+		return 1
+	}
+	return hi / lo
+}
+
+// Autocorrelation computes the lag-k sample autocorrelation of a series —
+// used to verify that generated traces carry (or don't carry) the
+// "many jobs with similar runtimes arrive together" correlation of real
+// supercomputing logs. Returns 0 for k >= len(xs) or a constant series.
+func Autocorrelation(xs []float64, k int) float64 {
+	n := len(xs)
+	if k < 0 || k >= n {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - mean
+		den += d * d
+		if i+k < n {
+			num += d * (xs[i+k] - mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

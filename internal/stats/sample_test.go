@@ -1,0 +1,281 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleQuantileKnown(t *testing.T) {
+	s := NewSample(5)
+	s.AddAll([]float64{10, 20, 30, 40, 50})
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20}, {0.125, 15},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSampleQuantileEmpty(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Error("quantile of empty sample should be NaN")
+	}
+}
+
+func TestSampleQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	s := NewSample(1000)
+	for i := 0; i < 1000; i++ {
+		s.Add(rng.Float64() * 100)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSampleMeanVariance(t *testing.T) {
+	s := NewSample(4)
+	s.AddAll([]float64{1, 2, 3, 4})
+	if got := s.Mean(); got != 2.5 {
+		t.Errorf("mean = %v, want 2.5", got)
+	}
+	if got := s.Variance(); !almostEqual(got, 5.0/3.0, 1e-12) {
+		t.Errorf("variance = %v, want %v", got, 5.0/3.0)
+	}
+}
+
+func TestSampleMoment(t *testing.T) {
+	s := NewSample(2)
+	s.AddAll([]float64{2, 4})
+	if got := s.Moment(2); got != 10 {
+		t.Errorf("E[X^2] = %v, want 10", got)
+	}
+	if got := s.Moment(-1); !almostEqual(got, 0.375, 1e-12) {
+		t.Errorf("E[1/X] = %v, want 0.375", got)
+	}
+}
+
+func TestTailLoadFraction(t *testing.T) {
+	s := NewSample(10)
+	// Nine jobs of size 1, one job of size 91: top 10% = 91/100 of the load.
+	for i := 0; i < 9; i++ {
+		s.Add(1)
+	}
+	s.Add(91)
+	if got := s.TailLoadFraction(0.10); !almostEqual(got, 0.91, 1e-12) {
+		t.Errorf("tail load fraction = %v, want 0.91", got)
+	}
+	if got := s.TailLoadFraction(1.0); !almostEqual(got, 1.0, 1e-12) {
+		t.Errorf("full tail load fraction = %v, want 1", got)
+	}
+	if got := s.TailLoadFraction(0); got != 0 {
+		t.Errorf("zero-fraction tail load = %v, want 0", got)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Correlation(xs, ys); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("perfect positive correlation = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Correlation(xs, neg); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("perfect negative correlation = %v, want -1", got)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if got := Correlation(xs, flat); got != 0 {
+		t.Errorf("correlation with constant = %v, want 0", got)
+	}
+}
+
+func TestCorrelationPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	Correlation([]float64{1}, []float64{1, 2})
+}
+
+func TestClassTally(t *testing.T) {
+	ct := NewClassTally()
+	ct.Add(0, 1)
+	ct.Add(0, 3)
+	ct.Add(1, 10)
+	if got := ct.Class(0).Mean(); got != 2 {
+		t.Errorf("class 0 mean = %v, want 2", got)
+	}
+	if got := ct.Class(1).Mean(); got != 10 {
+		t.Errorf("class 1 mean = %v, want 10", got)
+	}
+	if ct.Class(7) != nil {
+		t.Error("missing class should be nil")
+	}
+	if cs := ct.Classes(); len(cs) != 2 || cs[0] != 0 || cs[1] != 1 {
+		t.Errorf("classes = %v, want [0 1]", cs)
+	}
+	if got := ct.Total().Count(); got != 3 {
+		t.Errorf("total count = %v, want 3", got)
+	}
+	if got := ct.MaxSpread(); got != 5 {
+		t.Errorf("max spread = %v, want 5", got)
+	}
+}
+
+func TestClassTallySpreadDegenerate(t *testing.T) {
+	ct := NewClassTally()
+	if got := ct.MaxSpread(); got != 1 {
+		t.Errorf("empty tally spread = %v, want 1", got)
+	}
+	ct.Add(0, 5)
+	if got := ct.MaxSpread(); got != 1 {
+		t.Errorf("single-class spread = %v, want 1", got)
+	}
+}
+
+func TestLogHistogramBasic(t *testing.T) {
+	h := NewLogHistogram(2)
+	for _, x := range []float64{1, 1.5, 3, 100, -1, 0} {
+		h.Add(x)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if h.Underflow() != 2 {
+		t.Errorf("underflow = %d, want 2", h.Underflow())
+	}
+	bins := h.Bins()
+	var total int64
+	for _, b := range bins {
+		if b.Lo >= b.Hi {
+			t.Errorf("bin [%v,%v) malformed", b.Lo, b.Hi)
+		}
+		total += b.Count
+	}
+	if total != 4 {
+		t.Errorf("binned count = %d, want 4", total)
+	}
+}
+
+func TestLogHistogramQuantileApproximatesSample(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	h := NewLogHistogram(math.Pow(10, 0.05)) // 20 bins per decade
+	s := NewSample(50000)
+	for i := 0; i < 50000; i++ {
+		x := math.Exp(rng.NormFloat64()) // lognormal
+		h.Add(x)
+		s.Add(x)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		hq, sq := h.Quantile(q), s.Quantile(q)
+		if math.Abs(hq-sq)/sq > 0.10 {
+			t.Errorf("q=%v histogram %v vs sample %v (>10%% off)", q, hq, sq)
+		}
+	}
+}
+
+func TestLogHistogramPanicsOnBadBase(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for base <= 1")
+		}
+	}()
+	NewLogHistogram(1.0)
+}
+
+func TestDecileTally(t *testing.T) {
+	d := NewDecileTally([]float64{10, 100})
+	d.Add(5, 1.0)    // class 0
+	d.Add(50, 2.0)   // class 1
+	d.Add(5000, 4.0) // class 2
+	d.Add(10, 3.0)   // boundary goes to lower class
+	if d.Classes() != 3 {
+		t.Fatalf("classes = %d, want 3", d.Classes())
+	}
+	if got := d.Mean(0); got != 2 {
+		t.Errorf("class 0 mean = %v, want 2", got)
+	}
+	if got := d.Count(1); got != 1 {
+		t.Errorf("class 1 count = %v, want 1", got)
+	}
+	if got := d.Mean(2); got != 4 {
+		t.Errorf("class 2 mean = %v, want 4", got)
+	}
+	if got := d.Spread(); got != 2 {
+		t.Errorf("spread = %v, want 2", got)
+	}
+	if got := d.Mean(9); got != 0 {
+		t.Errorf("empty class mean = %v, want 0", got)
+	}
+}
+
+func TestDecileTallyPanicsOnUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for descending bounds")
+		}
+	}()
+	NewDecileTally([]float64{10, 5})
+}
+
+func TestSampleValuesSorted(t *testing.T) {
+	f := func(xs []float64) bool {
+		s := NewSample(len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			s.Add(x)
+		}
+		vs := s.Values()
+		for i := 1; i < len(vs); i++ {
+			if vs[i] < vs[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A constant series has zero (defined) autocorrelation.
+	if got := Autocorrelation([]float64{3, 3, 3}, 1); got != 0 {
+		t.Errorf("constant series acf = %v, want 0", got)
+	}
+	// Lag 0 of any non-constant series is 1.
+	xs := []float64{1, 5, 2, 8, 3, 9, 1, 7}
+	if got := Autocorrelation(xs, 0); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("lag-0 acf = %v, want 1", got)
+	}
+	// Alternating series has strongly negative lag-1 autocorrelation.
+	alt := []float64{1, -1, 1, -1, 1, -1, 1, -1, 1, -1}
+	if got := Autocorrelation(alt, 1); got > -0.5 {
+		t.Errorf("alternating lag-1 acf = %v, want strongly negative", got)
+	}
+	// Smooth run has positive lag-1 autocorrelation.
+	var run []float64
+	for i := 0; i < 50; i++ {
+		run = append(run, float64(i%10))
+	}
+	if got := Autocorrelation(run, 1); got < 0.3 {
+		t.Errorf("runs lag-1 acf = %v, want positive", got)
+	}
+	// Out-of-range lags are 0.
+	if Autocorrelation(xs, len(xs)) != 0 || Autocorrelation(xs, -1) != 0 {
+		t.Error("out-of-range lag should be 0")
+	}
+}

@@ -1,0 +1,29 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadSWF hammers the SWF parser with arbitrary input: it must never
+// panic, and any trace it accepts must validate.
+func FuzzReadSWF(f *testing.F) {
+	f.Add("; comment\n1 100.0 -1 50.0 8 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
+	f.Add("")
+	f.Add("1 2 3 4\n")
+	f.Add("1 1e308 -1 1e308 8\n")
+	f.Add("1 -5 -1 10 8\n\n2 nan -1 inf 8\n")
+	f.Add(strings.Repeat("; only comments\n", 10))
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadSWF("fuzz", strings.NewReader(input))
+		if err != nil {
+			return // rejections are fine; panics are not
+		}
+		if tr.Len() == 0 {
+			t.Fatal("accepted trace with zero jobs")
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted invalid trace: %v", err)
+		}
+	})
+}

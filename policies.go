@@ -1,0 +1,90 @@
+package sita
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"sita/internal/dist"
+	"sita/internal/policy"
+	"sita/internal/queueing"
+	"sita/internal/sim"
+)
+
+// The baseline policy constructors, re-exported so a caller can compare the
+// paper's whole policy space through one import.
+
+// NewRandomPolicy dispatches each job to a uniformly random host.
+func NewRandomPolicy(rng *rand.Rand) Policy { return policy.NewRandom(rng) }
+
+// NewRoundRobinPolicy dispatches jobs cyclically.
+func NewRoundRobinPolicy() Policy { return policy.NewRoundRobin() }
+
+// NewShortestQueuePolicy dispatches to the host with the fewest jobs.
+func NewShortestQueuePolicy() Policy { return policy.NewShortestQueue() }
+
+// NewLeastWorkLeftPolicy dispatches to the host with the least unfinished
+// work.
+func NewLeastWorkLeftPolicy() Policy { return policy.NewLeastWorkLeft() }
+
+// NewCentralQueuePolicy holds jobs at the dispatcher until a host idles
+// (equivalent to Least-Work-Left).
+func NewCentralQueuePolicy() Policy { return policy.NewCentralQueue() }
+
+// NewSITAPolicy builds a size-interval policy from explicit cutoffs.
+func NewSITAPolicy(label string, cutoffs []float64) Policy {
+	return policy.NewSITA(label, cutoffs)
+}
+
+// NewRNG derives a deterministic generator from a seed and stream index,
+// for policies that need randomness.
+func NewRNG(seed, stream uint64) *rand.Rand { return sim.NewRNG(seed, stream) }
+
+// BaselinePolicies builds one fresh instance of every load-balancing
+// baseline, keyed by display name.
+func BaselinePolicies(seed uint64) map[string]Policy {
+	return map[string]Policy{
+		"Random":          NewRandomPolicy(NewRNG(seed, 100)),
+		"Round-Robin":     NewRoundRobinPolicy(),
+		"Shortest-Queue":  NewShortestQueuePolicy(),
+		"Least-Work-Left": NewLeastWorkLeftPolicy(),
+		"Central-Queue":   NewCentralQueuePolicy(),
+	}
+}
+
+// Predict analytically evaluates a policy family's mean slowdown for a
+// system of hosts at the given load under the workload's size distribution.
+// Supported names: "Random", "Round-Robin", "Least-Work-Left"/
+// "Central-Queue", "SITA-E", "SITA-U-opt", "SITA-U-fair", "SITA-U-rule".
+func Predict(name string, load float64, size dist.Distribution, hosts int) (meanSlowdown float64, err error) {
+	lambda := float64(hosts) * load / size.Moment(1)
+	switch name {
+	case "Random":
+		return queueing.RandomSplit(lambda, size, hosts).MeanSlowdown(), nil
+	case "Round-Robin":
+		return queueing.RoundRobinSplit(lambda, size, hosts).MeanSlowdown(), nil
+	case "Least-Work-Left", "Central-Queue":
+		return queueing.LWL(lambda, size, hosts).MeanSlowdown(), nil
+	case "SITA-E", "SITA-U-opt", "SITA-U-fair", "SITA-U-rule":
+		var v Variant
+		switch name {
+		case "SITA-E":
+			v = SITAE
+		case "SITA-U-opt":
+			v = SITAUOpt
+		case "SITA-U-fair":
+			v = SITAUFair
+		default:
+			v = SITARule
+		}
+		if hosts != 2 {
+			return 0, fmt.Errorf("sita: analytic SITA prediction is closed-form for 2 hosts only, got %d", hosts)
+		}
+		d, err := NewDesign(v, load, size, hosts)
+		if err != nil {
+			return 0, err
+		}
+		return d.Predicted.MeanSlowdown, nil
+	default:
+		return 0, fmt.Errorf("sita: unknown policy %q", name)
+	}
+}
