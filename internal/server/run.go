@@ -28,6 +28,13 @@ type Config struct {
 }
 
 // Result aggregates one run's metrics.
+//
+// A Result is single-goroutine: it is populated by Run's completion
+// callback on the goroutine executing Run, with no internal locking, and
+// must not be read until Run returns nor shared with other goroutines
+// while being written. Concurrent experiment runners (internal/runner)
+// must give every simulation cell its own Result — which Run does by
+// construction, allocating a fresh one per call.
 type Result struct {
 	PolicyName string
 	Hosts      int
@@ -78,6 +85,16 @@ func (r *Result) Utilization(i int) float64 {
 // Run simulates the job list under the configuration and returns aggregated
 // metrics. Jobs are renumbered by arrival order; records carry that
 // ordinal as their ID.
+//
+// Concurrency: Run itself is synchronous and single-goroutine — the
+// completion callback below updates the Result's Horizon, PerHost and
+// stream accounting without locks, which is safe because the discrete-event
+// engine delivers completions sequentially on the calling goroutine.
+// Concurrent Run calls are safe provided each call gets its own
+// cfg.Policy instance (policies are stateful; see Policy) and its own
+// SizeClass func if that func is stateful. The jobs slice is copied before
+// renumbering and never written, so callers may share one job list across
+// concurrent runs.
 func Run(jobs []workload.Job, cfg Config) *Result {
 	if cfg.Hosts <= 0 {
 		panic(fmt.Sprintf("server: config needs hosts > 0, got %d", cfg.Hosts))
