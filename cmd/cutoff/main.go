@@ -68,7 +68,7 @@ func main() {
 	if *hosts > 2 {
 		lambda := float64(*hosts) * *load / wl.Size.Moment(1)
 		fmt.Printf("\nfull multi-cutoff vectors for %d hosts (the search the paper calls too expensive):\n", *hosts)
-		if cuts := queueing.EqualLoadCutoffs(wl.Size, *hosts); len(cuts) > 0 {
+		if cuts, err := queueing.EqualLoadCutoffs(wl.Size, *hosts); err == nil {
 			fmt.Printf("  SITA-E      %v\n", round(cuts))
 		}
 		if cuts, err := queueing.OptimalCutoffs(lambda, wl.Size, *hosts); err == nil {

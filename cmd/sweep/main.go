@@ -86,6 +86,7 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown experiment %q (have: %s)", id, strings.Join(experiment.IDs(), ", ")))
 		}
+		//lint:allow nowallclock wall-clock runtime is operator progress output, not a result
 		start := time.Now()
 		var tables []experiment.Table
 		var err error
@@ -100,6 +101,7 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
+		//lint:allow nowallclock wall-clock runtime is operator progress output, not a result
 		fmt.Fprintf(os.Stderr, "# %s finished in %v\n", id, time.Since(start).Round(time.Millisecond))
 		for _, t := range tables {
 			switch {

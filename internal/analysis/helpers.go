@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleePkgFunc resolves a call expression to a package-level function
+// (not a method, not a builtin, not a local value) and reports its
+// defining package path and name. ok is false for anything else.
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return "", "", false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// inspectFuncs visits every node of the file, handing each visit the
+// innermost and outermost enclosing function declarations (nil at package
+// scope, e.g. inside package-level variable initializers). Function
+// literals count toward neither: diagnostics about a closure are
+// attributed to the named function that contains it, whose doc comment is
+// where contracts live.
+func inspectFuncs(file *ast.File, visit func(n ast.Node, fn *ast.FuncDecl)) {
+	for _, decl := range file.Decls {
+		fn, _ := decl.(*ast.FuncDecl)
+		ast.Inspect(decl, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			visit(n, fn)
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the function's results include an error.
+func returnsError(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn == nil || fn.Type.Results == nil {
+		return false
+	}
+	for _, field := range fn.Type.Results.List {
+		if t := info.TypeOf(field.Type); t != nil && isErrorType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// isFloat reports whether t is a floating-point type.
+func isFloat(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags map iteration that feeds an ordered output — appending
+// to a slice declared outside the loop, or writing directly to a
+// writer/printer — without a later sort of the accumulated slice. This is
+// the exact nondeterminism class PR 1 fixed by hand in Replicate: Go
+// randomizes map iteration order, so such loops emit rows in a different
+// order every run and committed results stop being byte-identical.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "iterating a map while appending to an outer slice or writing " +
+		"to an io.Writer makes output order depend on Go's randomized " +
+		"map iteration. Collect and sort keys first, or sort the " +
+		"accumulated slice before it is consumed.",
+	Run: runMapOrder,
+}
+
+// sortFuncs lists the package-level sorting entry points that bless an
+// accumulated slice: once the slice is sorted after the loop, the map's
+// iteration order no longer reaches the output.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// writerMethods are method names that emit bytes in call order.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Printf": true, "Print": true, "Println": true,
+}
+
+// fmtPrinters are fmt package functions that emit directly.
+var fmtPrinters = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runMapOrder(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := info.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					return true
+				}
+				checkMapRange(pass, fn, rng)
+				return true
+			})
+		}
+	}
+}
+
+// checkMapRange inspects one map-range body for ordered-output sinks.
+func checkMapRange(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(info, call, "append") || i >= len(n.Lhs) {
+					continue
+				}
+				obj := assignedObj(info, n.Lhs[i])
+				// Only accumulation into a slice that outlives the loop
+				// can leak iteration order.
+				if obj == nil || obj.Pos() >= rng.Pos() {
+					continue
+				}
+				if sortedAfter(info, fn, rng, obj) {
+					continue
+				}
+				pass.Reportf(n.Pos(),
+					"appending to %s while ranging over a map: iteration order is randomized, so the slice's order changes run to run; sort the keys first or sort %s before it is consumed",
+					obj.Name(), obj.Name())
+			}
+		case *ast.CallExpr:
+			if pkgPath, name, ok := calleePkgFunc(info, n); ok {
+				if pkgPath == "fmt" && fmtPrinters[name] {
+					pass.Reportf(n.Pos(),
+						"fmt.%s inside a map range writes rows in randomized iteration order; collect into a slice and sort before printing", name)
+				}
+				return true
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && writerMethods[sel.Sel.Name] {
+				if _, isMethod := info.Selections[sel]; isMethod {
+					pass.Reportf(n.Pos(),
+						"%s inside a map range emits bytes in randomized iteration order; collect into a slice and sort before writing", sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// assignedObj resolves the object written by an assignment target, if it
+// is a plain identifier.
+func assignedObj(info *types.Info, lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// sortedAfter reports whether obj is passed to a sort function anywhere in
+// fn after the range statement ends.
+func sortedAfter(info *types.Info, fn *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		pkgPath, name, ok := calleePkgFunc(info, call)
+		if !ok || !sortFuncs[pkgPath][name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the package-level functions of "time" that read or
+// depend on the wall clock. Durations, formatting, and time arithmetic on
+// values already held are fine; acquiring the current time (or sleeping
+// against it) inside simulation code makes output depend on the machine,
+// which breaks deterministic replay. Simulated time comes from
+// sim.Engine; intentional uses (CLI progress reporting) carry a
+// //lint:allow nowallclock annotation.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// NoWallClock forbids wall-clock access in simulation code.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc: "time.Now, time.Since and friends read the wall clock, so any " +
+		"value they influence differs between runs and machines. " +
+		"Simulated time advances only through sim.Engine; wall-clock use " +
+		"is reserved for command progress output under an explicit " +
+		"//lint:allow nowallclock annotation.",
+	Run: runNoWallClock,
+}
+
+func runNoWallClock(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		inspectFuncs(file, func(n ast.Node, _ *ast.FuncDecl) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			pkgPath, name, ok := calleePkgFunc(pass.Pkg.Info, call)
+			if !ok || pkgPath != "time" || !wallClockFuncs[name] {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock and breaks deterministic replay; simulated time comes from sim.Engine (annotate intentional progress output with %s nowallclock <reason>)",
+				name, AllowPrefix)
+		})
+	}
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicPolicy restricts panic in library packages to declared contracts.
+// A panic is legal only when (a) the enclosing function's doc comment
+// documents it ("Panics if ..."), making it part of the API the way
+// regexp.MustCompile's is, (b) the function is init or a Must*/must*
+// helper, whose name is the documentation, or (c) an invariant site
+// carries a //lint:allow panicpolicy annotation. A function that already
+// returns an error may never panic for validation — the error path
+// exists; use it. Commands (package main) are exempt: dying loudly is a
+// CLI's error path.
+var PanicPolicy = &Analyzer{
+	Name: "panicpolicy",
+	Doc: "panic in library packages must be a documented contract " +
+		"(\"Panics if ...\" in the doc comment), a Must*/init helper, or " +
+		"an annotated invariant; functions returning an error must " +
+		"return validation failures instead of panicking.",
+	Run: runPanicPolicy,
+}
+
+func runPanicPolicy(pass *Pass) {
+	if pass.Pkg.IsCommand() {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		inspectFuncs(file, func(n ast.Node, fn *ast.FuncDecl) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltin(info, call, "panic") {
+				return
+			}
+			if fn == nil {
+				pass.Reportf(call.Pos(), "panic at package scope; validate in a constructor that can document or return the failure")
+				return
+			}
+			name := fn.Name.Name
+			if name == "init" || strings.HasPrefix(strings.ToLower(name), "must") {
+				return
+			}
+			if returnsError(info, fn) {
+				pass.Reportf(call.Pos(),
+					"%s returns an error; return the validation failure instead of panicking", funcLabel(info, fn))
+				return
+			}
+			if fn.Doc != nil && strings.Contains(strings.ToLower(fn.Doc.Text()), "panic") {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"undocumented panic in %s; document the contract (\"Panics if ...\") in the doc comment, return an error, or annotate an invariant with %s panicpolicy <reason>",
+				funcLabel(info, fn), AllowPrefix)
+		})
+	}
+}
+
+// funcLabel names a function for diagnostics, including the receiver type
+// for methods.
+func funcLabel(info *types.Info, fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := info.TypeOf(fn.Recv.List[0].Type)
+	if t == nil {
+		return fn.Name.Name
+	}
+	return types.TypeString(t, func(*types.Package) string { return "" }) + "." + fn.Name.Name
+}

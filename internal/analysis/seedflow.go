@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// approvedSeedFuncs are the seed-derivation helpers inside which RNG
+// construction and drawing are legitimate. Everywhere else a simulation
+// package must receive its randomness from a helper so that every stream
+// is a pure function of the experiment's base seed and the cell
+// coordinates (see internal/runner/seed.go and sim.NewRNG): that is what
+// keeps committed results byte-identical at any worker count.
+var approvedSeedFuncs = map[string]bool{
+	"NewRNG":           true, // sim.NewRNG: the one blessed rand.New site
+	"CellSeed":         true, // runner.CellSeed
+	"ReplicationSeeds": true, // runner.ReplicationSeeds
+	"jobSeed":          true, // experiment.Config.jobSeed
+}
+
+// randPackages are the RNG packages whose package-level functions are
+// restricted. Both constructors (rand.New, rand.NewPCG) and global draws
+// (rand.IntN, rand.Float64, ...) are caught: the global source is seeded
+// nondeterministically at process start, and ad-hoc constructors bypass
+// the seed-derivation discipline.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// Seedflow enforces the seed-derivation contract.
+var Seedflow = &Analyzer{
+	Name: "seedflow",
+	Doc: "RNG construction or global-source draws outside the approved " +
+		"seed-derivation helpers (sim.NewRNG, runner.CellSeed, " +
+		"runner.ReplicationSeeds, Config.jobSeed). All simulation " +
+		"randomness must be derived from the cell seed so reruns are " +
+		"byte-identical at any worker count.",
+	Run: runSeedflow,
+}
+
+func runSeedflow(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		inspectFuncs(file, func(n ast.Node, fn *ast.FuncDecl) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			pkgPath, name, ok := calleePkgFunc(pass.Pkg.Info, call)
+			if !ok || !randPackages[pkgPath] {
+				return
+			}
+			if fn != nil && approvedSeedFuncs[fn.Name.Name] {
+				return
+			}
+			where := "at package scope"
+			if fn != nil {
+				where = "in " + fn.Name.Name
+			}
+			pass.Reportf(call.Pos(),
+				"rand.%s %s: construct RNGs only inside approved seed-derivation helpers (sim.NewRNG, runner.CellSeed/ReplicationSeeds, Config.jobSeed) so streams stay a pure function of the cell seed",
+				name, where)
+		})
+	}
+}

@@ -1,0 +1,58 @@
+// Package floateq is the golden fixture for the floateq analyzer: exact
+// floating-point equality outside tolerance helpers is flagged.
+package floateq
+
+// equalDirect compares floats exactly: flagged.
+func equalDirect(a, b float64) bool {
+	return a == b // want `floating-point == is exact and brittle`
+}
+
+// notEqualDirect compares float32s exactly: flagged.
+func notEqualDirect(a, b float32) bool {
+	return a != b // want `floating-point != is exact and brittle`
+}
+
+// signTest compares against the constant zero — exact by IEEE-754, exempt.
+func signTest(a float64) bool {
+	return a == 0
+}
+
+// isNaN is the x != x self-test — exempt.
+func isNaN(a float64) bool {
+	return a != a
+}
+
+// folded compares two compile-time constants — exempt.
+func folded() bool {
+	return 0.1+0.2 == 0.3
+}
+
+// intsAreFine compares integers — not this analyzer's business.
+func intsAreFine(a, b int) bool {
+	return a == b
+}
+
+// almostEqual is a tolerance helper by name; its exact fast path is
+// exempt.
+func almostEqual(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// suppressedAbove carries the annotation on the line above the
+// comparison.
+func suppressedAbove(a, b float64) bool {
+	//lint:allow floateq fixture exercises the suppression path
+	return a == b
+}
+
+// suppressedSameLine carries the annotation on the flagged line itself.
+func suppressedSameLine(a, b float64) bool {
+	return a == b //lint:allow floateq fixture exercises same-line suppression
+}

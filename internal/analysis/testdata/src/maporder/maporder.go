@@ -1,0 +1,87 @@
+// Package maporder is the golden fixture for the maporder analyzer: map
+// iteration must not feed ordered output without an intervening sort.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// unsortedKeys leaks map iteration order into the returned slice: flagged.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appending to keys while ranging over a map`
+	}
+	return keys
+}
+
+// sortedKeys sorts the accumulated slice after the loop — legal.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedFunc blesses the slice through slices-style sorting via sort.Slice
+// — legal.
+func sortedFunc(m map[string]float64) []float64 {
+	vals := make([]float64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// printDirect writes rows straight from the range: flagged.
+func printDirect(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside a map range`
+	}
+}
+
+// buildDirect streams bytes to a writer inside the range: flagged.
+func buildDirect(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString inside a map range`
+	}
+	return b.String()
+}
+
+// loopLocal accumulates into a slice scoped to the loop body, which
+// cannot leak iteration order — legal.
+func loopLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// reduce aggregates order-insensitively — legal.
+func reduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// suppressed keeps a deliberately unsorted accumulation under an
+// annotation.
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:allow maporder fixture exercises the suppression path
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,37 @@
+// Package nowallclock is the golden fixture for the nowallclock
+// analyzer: wall-clock reads are forbidden in simulation code.
+package nowallclock
+
+import "time"
+
+// stamp reads the wall clock: flagged.
+func stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// pause sleeps against the wall clock: flagged.
+func pause() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+// elapsed measures a wall-clock interval: flagged.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// sub does arithmetic on time values already held — no clock read, legal.
+func sub(start, end time.Time) time.Duration {
+	return end.Sub(start)
+}
+
+// scale works with durations only — legal.
+func scale(d time.Duration) time.Duration {
+	return 3 * d
+}
+
+// progress is the one sanctioned shape: operator-facing progress output
+// under an explicit annotation.
+func progress() time.Time {
+	//lint:allow nowallclock operator progress output, not a simulation result
+	return time.Now()
+}

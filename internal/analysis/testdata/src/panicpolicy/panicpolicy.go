@@ -1,0 +1,89 @@
+// Package panicpolicy is the golden fixture for the panicpolicy
+// analyzer: panic must be a documented contract, a Must/init helper, or
+// an annotated invariant; error-returning functions must use the error
+// path.
+package panicpolicy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Documented declares its panic in the doc comment, like
+// regexp.MustCompile. Panics if n is negative.
+func Documented(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+// MustPositive is a Must helper; the name is the documentation.
+func MustPositive(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+func init() {
+	if MustPositive(1) != 1 {
+		panic("unreachable")
+	}
+}
+
+// Validate returns an error yet panics on bad input: flagged — the error
+// path exists, use it.
+func Validate(n int) error {
+	if n < 0 {
+		panic("negative") // want `Validate returns an error; return the validation failure`
+	}
+	return nil
+}
+
+// Build has error in a multi-value result list: still flagged.
+func Build(n int) (int, error) {
+	if n < 0 {
+		panic("negative") // want `Build returns an error; return the validation failure`
+	}
+	return n, nil
+}
+
+// Undocumented dies on bad input without declaring the contract:
+// flagged. (This comment must not contain the p-word, or it would count
+// as documentation.)
+func Undocumented(n int) int {
+	if n < 0 {
+		panic("negative") // want `undocumented panic in Undocumented`
+	}
+	return n
+}
+
+// counter exists to exercise the method label.
+type counter struct{ n int }
+
+// dec dies undocumented inside a method: flagged with the receiver type
+// in the label.
+func (c *counter) dec() {
+	if c.n == 0 {
+		panic("underflow") // want `undocumented panic in \*counter\.dec`
+	}
+	c.n--
+}
+
+// Ok uses the error path as the policy demands — legal.
+func Ok(n int) error {
+	if n < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}
+
+// Invariant keeps an internal consistency check under an annotation.
+func Invariant(n int) int {
+	if n < 0 {
+		//lint:allow panicpolicy fixture exercises the suppression path
+		panic(fmt.Sprintf("invariant violated: %d", n))
+	}
+	return n
+}

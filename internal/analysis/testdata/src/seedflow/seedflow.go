@@ -1,0 +1,46 @@
+// Package seedflow is the golden fixture for the seedflow analyzer: RNG
+// construction and global-source draws are legal only inside the approved
+// seed-derivation helpers.
+package seedflow
+
+import "math/rand/v2"
+
+// NewRNG mirrors sim.NewRNG — an approved helper name, so constructing
+// a generator here is legal.
+func NewRNG(seed, stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, stream))
+}
+
+// CellSeed mirrors runner.CellSeed; drawing inside an approved helper is
+// legal too.
+func CellSeed(base uint64) uint64 {
+	return base ^ rand.Uint64()
+}
+
+// adHoc builds a generator outside any helper: both calls are flagged.
+func adHoc() *rand.Rand {
+	return rand.New(rand.NewPCG(1, 2)) // want `rand\.New in adHoc` `rand\.NewPCG in adHoc`
+}
+
+// globalDraw samples the process-global source, which is seeded
+// nondeterministically at startup: flagged.
+func globalDraw() float64 {
+	return rand.Float64() // want `rand\.Float64 in globalDraw`
+}
+
+var packageScope = rand.Uint64() // want `rand\.Uint64 at package scope`
+
+// closure shows that a draw inside a function literal is attributed to
+// the named function containing it.
+func closure() func() int {
+	return func() int {
+		return rand.IntN(10) // want `rand\.IntN in closure`
+	}
+}
+
+// suppressed exercises the shared //lint:allow mechanism: the directive
+// on the line above silences the finding.
+func suppressed() int {
+	//lint:allow seedflow fixture exercises the suppression path
+	return rand.IntN(10)
+}

@@ -273,7 +273,7 @@ func NewDesignFull(v Variant, load float64, size dist.Distribution, hosts int) (
 	var err error
 	switch v {
 	case SITAE:
-		cuts = queueing.EqualLoadCutoffs(size, hosts)
+		cuts, err = queueing.EqualLoadCutoffs(size, hosts)
 	case SITAUOpt:
 		cuts, err = queueing.OptimalCutoffs(lambda, size, hosts)
 	case SITAUFair:

@@ -14,6 +14,7 @@ type Exponential struct {
 }
 
 // NewExponential builds an exponential distribution with the given mean.
+// Panics if mean is not positive.
 func NewExponential(mean float64) Exponential {
 	if mean <= 0 {
 		panic(fmt.Sprintf("dist: exponential mean must be positive, got %v", mean))
@@ -87,6 +88,7 @@ type Uniform struct {
 }
 
 // NewUniform validates the bounds and returns the distribution.
+// Panics unless lo < hi.
 func NewUniform(lo, hi float64) Uniform {
 	if hi <= lo {
 		panic(fmt.Sprintf("dist: uniform needs lo < hi, got [%v, %v]", lo, hi))
@@ -118,6 +120,7 @@ func (u Uniform) Moment(j float64) float64 {
 	if u.Lo <= 0 && j < 0 {
 		return math.Inf(1)
 	}
+	//lint:allow floateq exact dispatch at the removable singularity j = -1
 	if j == -1 {
 		return math.Log(u.Hi/u.Lo) / (u.Hi - u.Lo)
 	}
@@ -138,7 +141,7 @@ type Lognormal struct {
 }
 
 // NewLognormalFromMeanSCV builds the lognormal with the given mean and
-// squared coefficient of variation.
+// squared coefficient of variation. Panics unless both are positive.
 func NewLognormalFromMeanSCV(mean, scv float64) Lognormal {
 	if mean <= 0 || scv <= 0 {
 		panic(fmt.Sprintf("dist: lognormal needs positive mean and scv, got %v, %v", mean, scv))

@@ -78,6 +78,7 @@ func Prob(d Distribution, a, b float64) float64 {
 // PartialMoment reports E[X^j ; a < X <= b] for any distribution, preferring
 // a closed form and falling back to numeric integration over the quantile
 // function: E[X^j ; a<X<=b] = integral_{F(a)}^{F(b)} Q(u)^j du.
+// Panics if d supports neither PartialMomenter nor Quantiler.
 func PartialMoment(d Distribution, j, a, b float64) float64 {
 	if b <= a {
 		return 0
@@ -139,6 +140,7 @@ func (t *Truncated) Sample(rng *rand.Rand) float64 {
 			return x
 		}
 		if i > 1_000_000 {
+			//lint:allow panicpolicy invariant: NewTruncated guarantees the interval has mass, so an exhausted rejection loop means the distribution is inconsistent
 			panic("dist: truncated rejection sampling failed to hit interval")
 		}
 	}
@@ -165,6 +167,7 @@ func (t *Truncated) Moment(j float64) float64 {
 func (t *Truncated) Support() (lo, hi float64) { return t.lo, t.hi }
 
 // Quantile inverts the conditional CDF when the inner distribution allows.
+// Panics if the inner distribution has no quantile function.
 func (t *Truncated) Quantile(p float64) float64 {
 	q, ok := t.inner.(Quantiler)
 	if !ok {

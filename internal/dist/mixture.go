@@ -19,6 +19,8 @@ type Hyperexponential struct {
 }
 
 // NewHyperexponential validates and normalizes the phase parameters.
+// Panics if the slices mismatch or are empty, a phase is invalid, or the
+// probabilities sum to zero.
 func NewHyperexponential(probs, rates []float64) *Hyperexponential {
 	if len(probs) == 0 || len(probs) != len(rates) {
 		panic(fmt.Sprintf("dist: hyperexponential needs matching non-empty phases, got %d, %d", len(probs), len(rates)))
@@ -50,12 +52,13 @@ func NewHyperexponential(probs, rates []float64) *Hyperexponential {
 
 // NewH2Balanced builds the two-phase hyperexponential with the given mean
 // and squared coefficient of variation (>= 1) using balanced means
-// (p1/mu1 = p2/mu2), the standard two-moment fit.
+// (p1/mu1 = p2/mu2), the standard two-moment fit. Panics if scv < 1,
+// which a hyperexponential cannot represent.
 func NewH2Balanced(mean, scv float64) *Hyperexponential {
 	if scv < 1 {
 		panic(fmt.Sprintf("dist: H2 requires scv >= 1, got %v", scv))
 	}
-	if scv == 1 {
+	if scv <= 1 { // exactly 1 after the guard above: a single exponential
 		return NewHyperexponential([]float64{1}, []float64{1 / mean})
 	}
 	p1 := 0.5 * (1 + math.Sqrt((scv-1)/(scv+1)))
@@ -143,6 +146,7 @@ type Empirical struct {
 }
 
 // NewEmpirical copies and sorts the observations.
+// Panics if xs is empty.
 func NewEmpirical(xs []float64) *Empirical {
 	if len(xs) == 0 {
 		panic("dist: empirical distribution needs at least one observation")

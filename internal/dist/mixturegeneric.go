@@ -19,6 +19,8 @@ type Mixture struct {
 }
 
 // NewMixture validates and normalizes the weights.
+// Panics if the slices mismatch or are empty, a component is nil, a
+// weight is negative, or the weights sum to zero.
 func NewMixture(components []Distribution, weights []float64) *Mixture {
 	if len(components) == 0 || len(components) != len(weights) {
 		panic(fmt.Sprintf("dist: mixture needs matching non-empty components, got %d, %d",

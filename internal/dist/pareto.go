@@ -14,6 +14,7 @@ type Pareto struct {
 }
 
 // NewPareto validates the parameters and returns the distribution.
+// Panics unless alpha and k are positive.
 func NewPareto(alpha, k float64) Pareto {
 	if alpha <= 0 || k <= 0 {
 		panic(fmt.Sprintf("dist: pareto needs positive alpha and k, got %v, %v", alpha, k))
@@ -61,6 +62,7 @@ func (p Pareto) PartialMoment(j, a, b float64) float64 {
 	}
 	// Density alpha*K^alpha*x^{-alpha-1} integrated against x^j.
 	c := p.Alpha * math.Pow(p.K, p.Alpha)
+	//lint:allow floateq exact dispatch at the removable singularity j = alpha
 	if j == p.Alpha {
 		return c * math.Log(b/a)
 	}
@@ -81,6 +83,7 @@ type BoundedPareto struct {
 }
 
 // NewBoundedPareto validates parameters and precomputes the normalizer.
+// Panics unless alpha > 0 and 0 < k < p.
 func NewBoundedPareto(alpha, k, p float64) BoundedPareto {
 	if alpha <= 0 || k <= 0 || p <= k {
 		panic(fmt.Sprintf("dist: bounded pareto needs alpha>0, 0<k<p, got alpha=%v k=%v p=%v", alpha, k, p))
@@ -131,6 +134,7 @@ func (b BoundedPareto) PartialMoment(j, lo, hi float64) float64 {
 		return 0
 	}
 	c := b.Alpha * math.Pow(b.K, b.Alpha) / b.norm
+	//lint:allow floateq exact dispatch at the removable singularity j = alpha
 	if j == b.Alpha {
 		return c * math.Log(hi/lo)
 	}

@@ -31,6 +31,7 @@ func queueing2MeanSlowdown(m analyticModel, lambda float64, size dist.Distributi
 	case queueingLWL:
 		return queueing.LWL(lambda, size, hosts).MeanSlowdown()
 	default:
+		//lint:allow panicpolicy invariant: analyticModel is a closed internal enum
 		panic("experiment: unknown analytic model")
 	}
 }

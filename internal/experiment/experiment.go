@@ -439,6 +439,7 @@ func equalLoads(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
+		//lint:allow floateq sweep-config identity check, not a computed value
 		if a[i] != b[i] {
 			return false
 		}

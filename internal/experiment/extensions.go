@@ -206,8 +206,8 @@ func MultiCutoffAblation(cfg Config) ([]Table, error) {
 			}
 			pol = policy.NewSITA("SITA-multi", cuts)
 		default:
-			cuts := queueing.EqualLoadCutoffs(size, cl.hosts)
-			if len(cuts) != cl.hosts-1 {
+			cuts, err := queueing.EqualLoadCutoffs(size, cl.hosts)
+			if err != nil {
 				return outcome{}, nil
 			}
 			pol = policy.NewSITA("SITA-E-multi", cuts)

@@ -94,6 +94,7 @@ func formatCell(v float64) string {
 		return "inf"
 	case math.IsNaN(v):
 		return "-"
+	//lint:allow floateq exact integrality test choosing the integer format
 	case v == math.Trunc(v) && math.Abs(v) < 1e7:
 		return fmt.Sprintf("%d", int64(v))
 	case math.Abs(v) >= 1e6 || (v != 0 && math.Abs(v) < 1e-3):

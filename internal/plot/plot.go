@@ -67,9 +67,11 @@ func Chart(series []Series, opt Options) string {
 	if usable == 0 {
 		return "(no drawable points)\n"
 	}
+	//lint:allow floateq degenerate-axis guard before dividing by the range
 	if xMax == xMin {
 		xMax = xMin + 1
 	}
+	//lint:allow floateq degenerate-axis guard before dividing by the range
 	if yMax == yMin {
 		yMax = yMin + 1
 	}

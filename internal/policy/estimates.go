@@ -31,6 +31,7 @@ type EstimatedLWL struct {
 
 // NewEstimatedLWL builds the policy; sigma = 0 reproduces exact LWL
 // behaviour (up to the backlog bookkeeping being belief-based).
+// Panics if sigma < 0 or rng is nil.
 func NewEstimatedLWL(sigma float64, rng *rand.Rand) *EstimatedLWL {
 	if sigma < 0 || rng == nil {
 		panic(fmt.Sprintf("policy: estimated LWL needs sigma >= 0 and a generator, got %v", sigma))
@@ -86,6 +87,7 @@ type EstimatedSITA struct {
 }
 
 // NewEstimatedSITA wraps a SITA policy with lognormal estimate noise.
+// Panics if inner is nil, sigma < 0, or rng is nil.
 func NewEstimatedSITA(inner *SITA, sigma float64, rng *rand.Rand) *EstimatedSITA {
 	if inner == nil || rng == nil || sigma < 0 {
 		panic("policy: estimated SITA needs an inner policy, sigma >= 0 and a generator")

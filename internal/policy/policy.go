@@ -27,6 +27,7 @@ type Random struct {
 }
 
 // NewRandom builds a Random policy with its own generator.
+// Panics if rng is nil.
 func NewRandom(rng *rand.Rand) *Random {
 	if rng == nil {
 		panic("policy: random needs a generator")
@@ -141,7 +142,7 @@ type SITA struct {
 }
 
 // NewSITA builds a size-interval policy with the given display label and
-// ascending cutoffs (len = hosts-1).
+// ascending cutoffs (len = hosts-1). Panics if the cutoffs do not ascend.
 func NewSITA(label string, cutoffs []float64) *SITA {
 	if !sort.Float64sAreSorted(cutoffs) {
 		panic(fmt.Sprintf("policy: SITA cutoffs must ascend, got %v", cutoffs))
@@ -183,7 +184,7 @@ type GroupedSITA struct {
 }
 
 // NewGroupedSITA builds the hybrid policy; shortHosts of the system's hosts
-// form the short group.
+// form the short group. Panics if shortHosts < 1.
 func NewGroupedSITA(label string, cutoff float64, shortHosts int) *GroupedSITA {
 	if shortHosts <= 0 {
 		panic(fmt.Sprintf("policy: grouped SITA needs at least one short host, got %d", shortHosts))
@@ -201,6 +202,7 @@ func (p *GroupedSITA) Assign(j workload.Job, v server.View) int {
 		lo, hi = p.shortHosts, v.Hosts()
 	}
 	if lo >= hi {
+		//lint:allow panicpolicy invariant: NewGroupedSITA validates shortHosts, so an empty group means the view shrank mid-run
 		panic(fmt.Sprintf("policy: grouped SITA group [%d, %d) empty with %d hosts", lo, hi, v.Hosts()))
 	}
 	best, bestW := lo, v.WorkLeft(lo)
@@ -248,6 +250,7 @@ func NewMisclassify(inner server.Policy, cutoff, p float64, rng *rand.Rand) *Mis
 }
 
 // NewMisclassifyMode wraps inner with a directional error model.
+// Panics if inner or rng is nil, or p is outside [0, 1].
 func NewMisclassifyMode(inner server.Policy, cutoff, p float64, mode MisclassifyMode, rng *rand.Rand) *Misclassify {
 	if inner == nil || rng == nil {
 		panic("policy: misclassify needs an inner policy and a generator")

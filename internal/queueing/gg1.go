@@ -22,7 +22,8 @@ type GG1 struct {
 	Size   dist.Distribution
 }
 
-// NewGG1 validates parameters.
+// NewGG1 validates parameters. Panics if lambda <= 0, ca2 < 0, or size is
+// nil.
 func NewGG1(lambda, ca2 float64, size dist.Distribution) GG1 {
 	if lambda <= 0 || ca2 < 0 || size == nil {
 		panic(fmt.Sprintf("queueing: invalid GG1 lambda=%v ca2=%v", lambda, ca2))

@@ -27,7 +27,7 @@ type MG1 struct {
 	Size   dist.Distribution
 }
 
-// NewMG1 validates the arrival rate.
+// NewMG1 validates the arrival rate. Panics if lambda <= 0 or size is nil.
 func NewMG1(lambda float64, size dist.Distribution) MG1 {
 	if lambda <= 0 || size == nil {
 		panic(fmt.Sprintf("queueing: MG1 needs lambda > 0 and a size distribution, got %v", lambda))

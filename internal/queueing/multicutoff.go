@@ -16,16 +16,16 @@ import (
 
 // EqualLoadCutoffs returns the SITA-E cutoffs for h hosts: h-1 cutoffs
 // splitting the total work into h equal shares.
-func EqualLoadCutoffs(size dist.Distribution, h int) []float64 {
+func EqualLoadCutoffs(size dist.Distribution, h int) ([]float64, error) {
 	if h < 2 {
-		panic(fmt.Sprintf("queueing: EqualLoadCutoffs needs h >= 2, got %d", h))
+		return nil, fmt.Errorf("queueing: EqualLoadCutoffs needs h >= 2, got %d", h)
 	}
 	total := size.Moment(1)
 	cuts := make([]float64, h-1)
 	for i := 1; i < h; i++ {
 		cuts[i-1] = CutoffForShortLoad(1, size, total*float64(i)/float64(h))
 	}
-	return cuts
+	return cuts, nil
 }
 
 // systemMeanSlowdown evaluates an h-host SITA system, +Inf when any host is
@@ -51,7 +51,7 @@ func systemMeanSlowdown(lambda float64, size dist.Distribution, cuts []float64) 
 // objective stops improving.
 func OptimalCutoffs(lambda float64, size dist.Distribution, h int) ([]float64, error) {
 	if h < 2 {
-		panic(fmt.Sprintf("queueing: OptimalCutoffs needs h >= 2, got %d", h))
+		return nil, fmt.Errorf("queueing: OptimalCutoffs needs h >= 2, got %d", h)
 	}
 	if h == 2 {
 		c, err := OptimalCutoff(lambda, size)
@@ -61,7 +61,10 @@ func OptimalCutoffs(lambda float64, size dist.Distribution, h int) ([]float64, e
 		return []float64{c}, nil
 	}
 	lo, hi := supportBounds(size)
-	cuts := EqualLoadCutoffs(size, h)
+	cuts, err := EqualLoadCutoffs(size, h)
+	if err != nil {
+		return nil, err
+	}
 	best := systemMeanSlowdown(lambda, size, cuts)
 	if math.IsInf(best, 1) {
 		return nil, fmt.Errorf("%w: equal-load start infeasible for h=%d", ErrInfeasible, h)
@@ -137,7 +140,7 @@ func OptimalCutoffs(lambda float64, size dist.Distribution, h int) ([]float64, e
 // tau itself is then bisected on the sign of the last host's slowdown error.
 func FairCutoffs(lambda float64, size dist.Distribution, h int) ([]float64, error) {
 	if h < 2 {
-		panic(fmt.Sprintf("queueing: FairCutoffs needs h >= 2, got %d", h))
+		return nil, fmt.Errorf("queueing: FairCutoffs needs h >= 2, got %d", h)
 	}
 	if h == 2 {
 		c, err := FairCutoff(lambda, size)

@@ -11,6 +11,7 @@ import (
 // where a = lambda/mu is the offered load in Erlangs and h the number of
 // servers. Returns 1 when the system is unstable (a >= h). Terms are
 // accumulated with the usual recurrence to avoid factorial overflow.
+// Panics if h <= 0 or a < 0.
 func ErlangC(h int, a float64) float64 {
 	if h <= 0 || a < 0 {
 		panic(fmt.Sprintf("queueing: ErlangC needs h > 0 and a >= 0, got h=%d a=%v", h, a))
@@ -41,7 +42,8 @@ type MMh struct {
 	H           int
 }
 
-// NewMMh validates parameters.
+// NewMMh validates parameters. Panics if lambda, meanService, or h is not
+// positive.
 func NewMMh(lambda, meanService float64, h int) MMh {
 	if lambda <= 0 || meanService <= 0 || h <= 0 {
 		panic(fmt.Sprintf("queueing: invalid MMh lambda=%v mean=%v h=%d", lambda, meanService, h))
@@ -85,7 +87,8 @@ type MGh struct {
 	H      int
 }
 
-// NewMGh validates parameters.
+// NewMGh validates parameters. Panics if lambda <= 0, size is nil, or
+// h <= 0.
 func NewMGh(lambda float64, size dist.Distribution, h int) MGh {
 	if lambda <= 0 || size == nil || h <= 0 {
 		panic(fmt.Sprintf("queueing: invalid MGh lambda=%v h=%d", lambda, h))

@@ -18,7 +18,8 @@ type SITA struct {
 	Cutoffs []float64 // ascending internal cutoffs; len = hosts-1
 }
 
-// NewSITA validates rate and cutoff ordering.
+// NewSITA validates rate and cutoff ordering. Panics if lambda <= 0, size
+// is nil, or the cutoffs do not strictly ascend.
 func NewSITA(lambda float64, size dist.Distribution, cutoffs []float64) SITA {
 	if lambda <= 0 || size == nil {
 		panic(fmt.Sprintf("queueing: SITA needs lambda > 0 and size dist, got %v", lambda))
@@ -146,7 +147,7 @@ func (s SITA) MeanSlowdown() float64 { return s.Analyze().MeanSlowdown }
 // RandomSplit analyzes the Random policy: Bernoulli splitting sends each
 // host an independent Poisson stream at rate lambda/h with the *unreduced*
 // size distribution; every host is an M/G/1 carrying the full service-time
-// variability.
+// variability. Panics if h <= 0.
 func RandomSplit(lambda float64, size dist.Distribution, h int) MG1 {
 	if h <= 0 {
 		panic(fmt.Sprintf("queueing: RandomSplit needs h > 0, got %d", h))
@@ -156,7 +157,7 @@ func RandomSplit(lambda float64, size dist.Distribution, h int) MG1 {
 
 // RoundRobinSplit approximates the Round-Robin policy: each host sees an
 // E_h/G/1 queue (Erlang-h interarrivals, Ca^2 = 1/h) with the full size
-// distribution.
+// distribution. Panics if h <= 0.
 func RoundRobinSplit(lambda float64, size dist.Distribution, h int) GG1 {
 	if h <= 0 {
 		panic(fmt.Sprintf("queueing: RoundRobinSplit needs h > 0, got %d", h))

@@ -230,7 +230,10 @@ func TestCutoffForShortLoadMonotone(t *testing.T) {
 func TestEqualLoadCutoffsMulti(t *testing.T) {
 	size := c90ish()
 	for _, h := range []int{2, 3, 4, 8} {
-		cuts := EqualLoadCutoffs(size, h)
+		cuts, err := EqualLoadCutoffs(size, h)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(cuts) != h-1 {
 			t.Fatalf("h=%d: %d cutoffs", h, len(cuts))
 		}
@@ -253,7 +256,11 @@ func TestOptimalCutoffsMultiImprove(t *testing.T) {
 		t.Fatal(err)
 	}
 	sOpt := NewSITA(lambda, size, cuts).MeanSlowdown()
-	sE := NewSITA(lambda, size, EqualLoadCutoffs(size, h)).MeanSlowdown()
+	eCuts, err := EqualLoadCutoffs(size, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sE := NewSITA(lambda, size, eCuts).MeanSlowdown()
 	if sOpt > sE {
 		t.Fatalf("multi-opt %v worse than equal-load %v", sOpt, sE)
 	}
@@ -326,7 +333,6 @@ func TestSITAValidation(t *testing.T) {
 	for i, fn := range []func(){
 		func() { NewSITA(0, size, nil) },
 		func() { NewSITA(1, size, []float64{5, 2}) },
-		func() { EqualLoadCutoffs(size, 1) },
 		func() { NewMMh(0, 1, 1) },
 		func() { NewMGh(1, nil, 1) },
 		func() { NewGG1(1, -1, size) },
@@ -342,6 +348,21 @@ func TestSITAValidation(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// The cutoff searches are reachable from CLI flags, so bad host counts
+// must come back as errors rather than panics.
+func TestCutoffSearchValidationErrors(t *testing.T) {
+	size := dist.NewExponential(1)
+	if _, err := EqualLoadCutoffs(size, 1); err == nil {
+		t.Error("EqualLoadCutoffs(h=1): expected error")
+	}
+	if _, err := OptimalCutoffs(1, size, 1); err == nil {
+		t.Error("OptimalCutoffs(h=1): expected error")
+	}
+	if _, err := FairCutoffs(1, size, 1); err == nil {
+		t.Error("FairCutoffs(h=1): expected error")
 	}
 }
 

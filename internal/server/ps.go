@@ -126,6 +126,7 @@ type PSSystem struct {
 }
 
 // NewPS builds a PS distributed server.
+// Panics if h < 1 or p is nil.
 func NewPS(h int, p Policy, onComplete func(JobRecord)) *PSSystem {
 	if h <= 0 {
 		panic(fmt.Sprintf("server: need at least one host, got %d", h))
@@ -162,6 +163,8 @@ func (s *PSSystem) WorkLeft(i int) float64 {
 func (s *PSSystem) Idle(i int) bool { return len(s.hosts[i].jobs) == 0 }
 
 // Simulate runs the jobs (sorted by arrival) to completion.
+// Panics if the jobs are not sorted by arrival time or the policy routes
+// a job outside the host range.
 func (s *PSSystem) Simulate(jobs []workload.Job) {
 	prev := 0.0
 	for i, j := range jobs {
@@ -185,6 +188,7 @@ func (s *PSSystem) Simulate(jobs []workload.Job) {
 // RunPS simulates the job list on PS hosts and aggregates metrics like Run.
 // A record's Wait is the sharing-induced stretch (response minus size), so
 // Wait + Size = Response holds exactly as under FCFS.
+// Panics if cfg.Hosts <= 0 or cfg.WarmupFraction is outside [0, 1).
 func RunPS(jobs []workload.Job, cfg Config) *Result {
 	if cfg.Hosts <= 0 {
 		panic(fmt.Sprintf("server: config needs hosts > 0, got %d", cfg.Hosts))

@@ -95,6 +95,7 @@ func (r *Result) Utilization(i int) float64 {
 // SizeClass func if that func is stateful. The jobs slice is copied before
 // renumbering and never written, so callers may share one job list across
 // concurrent runs.
+// Panics if cfg.Hosts <= 0 or cfg.WarmupFraction is outside [0, 1).
 func Run(jobs []workload.Job, cfg Config) *Result {
 	if cfg.Hosts <= 0 {
 		panic(fmt.Sprintf("server: config needs hosts > 0, got %d", cfg.Hosts))

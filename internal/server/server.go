@@ -112,7 +112,7 @@ func New(h int, p Policy, onComplete func(JobRecord)) *System {
 }
 
 // NewWithOrder builds a distributed server with an explicit central-queue
-// discipline.
+// discipline. Panics if h < 1 or p is nil.
 func NewWithOrder(h int, p Policy, order CentralOrder, onComplete func(JobRecord)) *System {
 	if h <= 0 {
 		panic(fmt.Sprintf("server: need at least one host, got %d", h))
@@ -150,7 +150,8 @@ func (s *System) WorkLeft(i int) float64 {
 func (s *System) Idle(i int) bool { return s.hosts[i].jobs == 0 }
 
 // Simulate runs the full job list through the system and waits for every
-// job to finish. Jobs must be sorted by arrival time.
+// job to finish. Jobs must be sorted by arrival time; Simulate panics if
+// they are not.
 func (s *System) Simulate(jobs []workload.Job) {
 	prev := 0.0
 	for i, j := range jobs {
@@ -164,6 +165,9 @@ func (s *System) Simulate(jobs []workload.Job) {
 	s.engine.Run()
 }
 
+// arrive routes one job through the policy at its arrival instant.
+// Panics if the policy returns a host outside the valid range, which is a
+// contract violation by the Policy implementation.
 func (s *System) arrive(job workload.Job, now float64) {
 	idx := s.policy.Assign(job, s)
 	if idx == Central {

@@ -38,6 +38,7 @@ type eventHeap []*item
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//lint:allow floateq exact event-time tie-break; equal times fall through to seq for determinism
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
@@ -96,6 +97,7 @@ func (e *Engine) At(t float64, fn Event) Handle {
 }
 
 // After schedules fn to run delay time units from now.
+// Panics if delay is negative: it is always a model bug.
 func (e *Engine) After(delay float64, fn Event) Handle {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))

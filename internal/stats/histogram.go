@@ -20,7 +20,7 @@ type LogHistogram struct {
 
 // NewLogHistogram returns a histogram whose bins grow geometrically by
 // factor base (base > 1, e.g. 2 for doubling bins, 10^0.1 for 10 bins per
-// decade).
+// decade). Panics if base <= 1.
 func NewLogHistogram(base float64) *LogHistogram {
 	if base <= 1 {
 		panic(fmt.Sprintf("stats: log histogram base must exceed 1, got %v", base))
@@ -140,6 +140,7 @@ type DecileTally struct {
 
 // NewDecileTally builds a tally from decile boundaries (ascending, length 9
 // for true deciles, but any number of boundaries defines len+1 classes).
+// Panics if the boundaries are not ascending.
 func NewDecileTally(bounds []float64) *DecileTally {
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] < bounds[i-1] {

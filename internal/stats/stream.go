@@ -214,9 +214,6 @@ func (s *Stream) String() string {
 // plenty for confidence intervals).
 func zQuantile(p float64) float64 {
 	if p <= 0 || p >= 1 {
-		if p == 0.5 {
-			return 0
-		}
 		return math.NaN()
 	}
 	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,

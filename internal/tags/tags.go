@@ -52,6 +52,7 @@ func (r *Result) WasteFraction() float64 {
 // cutoffs (len = hosts-1, ascending; host i kills at cutoffs[i], the last
 // host never kills). Jobs must be sorted by arrival time. warmup is the
 // fraction of jobs (by arrival order) excluded from delay statistics.
+// Panics if the cutoffs do not ascend or the jobs are unsorted.
 func Simulate(jobs []workload.Job, cutoffs []float64, warmup float64) *Result {
 	if !sort.Float64sAreSorted(cutoffs) {
 		panic(fmt.Sprintf("tags: cutoffs must ascend, got %v", cutoffs))
@@ -157,7 +158,8 @@ type Analysis struct {
 	Cutoffs []float64
 }
 
-// NewAnalysis validates parameters.
+// NewAnalysis validates parameters. Panics if lambda <= 0, size is nil, or
+// the cutoffs do not ascend.
 func NewAnalysis(lambda float64, size dist.Distribution, cutoffs []float64) Analysis {
 	if lambda <= 0 || size == nil {
 		panic(fmt.Sprintf("tags: analysis needs lambda > 0 and a size distribution, got %v", lambda))
@@ -302,7 +304,7 @@ func (a Analysis) MeanResponse() float64 {
 // constraint that wasted work keeps every downstream host stable.
 func OptimalCutoffs(lambda float64, size dist.Distribution, h int) ([]float64, error) {
 	if h < 2 {
-		panic(fmt.Sprintf("tags: need h >= 2, got %d", h))
+		return nil, fmt.Errorf("tags: need h >= 2, got %d", h)
 	}
 	suppLo, suppHi := size.Support()
 	if suppLo <= 0 {

@@ -213,7 +213,6 @@ func TestSimulateValidation(t *testing.T) {
 		},
 		func() { NewAnalysis(0, dist.NewExponential(1), nil) },
 		func() { NewAnalysis(1, dist.NewExponential(1), []float64{5, 1}) },
-		func() { OptimalCutoffs(1, dist.NewExponential(1), 1) },
 	} {
 		func() {
 			defer func() {
@@ -223,6 +222,11 @@ func TestSimulateValidation(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+	// The cutoff search is reachable from CLI flags; bad host counts come
+	// back as errors, not panics.
+	if _, err := OptimalCutoffs(1, dist.NewExponential(1), 1); err == nil {
+		t.Error("OptimalCutoffs(h=1): expected error")
 	}
 }
 

@@ -65,7 +65,7 @@ func Merge(name string, traces ...*Trace) *Trace {
 
 // Thin returns a new trace keeping every k-th job (k >= 1), a quick way to
 // reduce load while preserving the marginal size distribution and the
-// large-scale arrival pattern.
+// large-scale arrival pattern. Panics if k < 1.
 func (t *Trace) Thin(k int) *Trace {
 	if k < 1 {
 		panic(fmt.Sprintf("trace: thin factor must be >= 1, got %d", k))

@@ -182,7 +182,7 @@ func (t *Trace) SizeDistribution() *dist.Empirical {
 // JobsAtLoad re-times the trace's jobs so that a system of hosts unit-speed
 // hosts runs at the target load, preserving size order. Poisson-mode draws
 // fresh exponential gaps (sections 2-5); otherwise the trace's own gaps are
-// rescaled (section 6).
+// rescaled (section 6). Panics if load is outside (0, 1).
 func (t *Trace) JobsAtLoad(load float64, hosts int, poisson bool, seed uint64) []workload.Job {
 	if load <= 0 || load >= 1 {
 		panic(fmt.Sprintf("trace: load must be in (0,1), got %v", load))

@@ -15,7 +15,7 @@ type Poisson struct {
 	Rate float64
 }
 
-// NewPoisson validates the rate.
+// NewPoisson validates the rate. Panics if rate <= 0.
 func NewPoisson(rate float64) Poisson {
 	if rate <= 0 {
 		panic(fmt.Sprintf("workload: poisson rate must be positive, got %v", rate))
@@ -49,6 +49,7 @@ type MMPP2 struct {
 }
 
 // NewMMPP2 validates parameters and starts in the low state.
+// Panics unless all four rates are positive.
 func NewMMPP2(rateLo, rateHi, switchLo, switchHi float64) *MMPP2 {
 	if rateLo < 0 || rateHi <= 0 || switchLo <= 0 || switchHi <= 0 {
 		panic(fmt.Sprintf("workload: invalid MMPP2 parameters %v %v %v %v",
@@ -109,6 +110,7 @@ type Replay struct {
 }
 
 // NewReplay copies the gap list; scale multiplies every gap.
+// Panics if gaps is empty or scale is not positive.
 func NewReplay(gaps []float64, scale float64) *Replay {
 	if len(gaps) == 0 {
 		panic("workload: replay needs at least one gap")
@@ -124,6 +126,7 @@ func NewReplay(gaps []float64, scale float64) *Replay {
 // NewReplayForLoad builds a Replay whose scale drives hosts unit-speed
 // hosts at the target load given the mean job size: the raw gaps' mean is
 // rescaled so that meanGap = meanSize / (load * hosts).
+// Panics if the gaps have a non-positive mean.
 func NewReplayForLoad(gaps []float64, load, meanSize float64, hosts int) *Replay {
 	sum := 0.0
 	for _, g := range gaps {
@@ -162,7 +165,8 @@ type Diurnal struct {
 	clock     float64
 }
 
-// NewDiurnal validates parameters.
+// NewDiurnal validates parameters. Panics unless meanRate and period are
+// positive and 0 <= amplitude <= 1.
 func NewDiurnal(meanRate, amplitude, period float64) *Diurnal {
 	if meanRate <= 0 || amplitude < 0 || amplitude >= 1 || period <= 0 {
 		panic(fmt.Sprintf("workload: invalid diurnal rate=%v amp=%v period=%v",

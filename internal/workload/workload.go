@@ -37,6 +37,7 @@ type SizeSource interface {
 // RateForLoad returns the arrival rate that drives a system of hosts
 // identical unit-speed hosts at the given load when mean job size is
 // meanSize: load = lambda * meanSize / hosts.
+// Panics unless load, meanSize, and hosts are positive.
 func RateForLoad(load, meanSize float64, hosts int) float64 {
 	if load <= 0 || meanSize <= 0 || hosts <= 0 {
 		panic(fmt.Sprintf("workload: invalid load=%v meanSize=%v hosts=%d", load, meanSize, hosts))
@@ -58,7 +59,7 @@ type Source struct {
 
 // NewSource pairs an arrival process with a size source. The two RNGs must
 // be distinct generators (typically sim.NewRNG(seed, 0) and
-// sim.NewRNG(seed, 1)).
+// sim.NewRNG(seed, 1)). Panics if any component is nil.
 func NewSource(arrivals ArrivalProcess, sizes SizeSource, arrRNG, sizeRNG *rand.Rand) *Source {
 	if arrivals == nil || sizes == nil || arrRNG == nil || sizeRNG == nil {
 		panic("workload: NewSource requires non-nil components")
@@ -99,7 +100,7 @@ type ReplaySizes struct {
 	pos   int
 }
 
-// NewReplaySizes copies the size list.
+// NewReplaySizes copies the size list. Panics if it is empty.
 func NewReplaySizes(sizes []float64) *ReplaySizes {
 	if len(sizes) == 0 {
 		panic("workload: replay needs at least one size")
@@ -126,7 +127,7 @@ type ShuffledSizes struct {
 	sizes []float64
 }
 
-// NewShuffledSizes copies the size list.
+// NewShuffledSizes copies the size list. Panics if it is empty.
 func NewShuffledSizes(sizes []float64) *ShuffledSizes {
 	if len(sizes) == 0 {
 		panic("workload: shuffle needs at least one size")
