@@ -23,6 +23,7 @@ import (
 	"sita"
 	"sita/internal/core"
 	"sita/internal/policy"
+	"sita/internal/profiling"
 	"sita/internal/runner"
 	"sita/internal/server"
 	"sita/internal/sim"
@@ -40,8 +41,21 @@ func main() {
 		bursty     = flag.Bool("bursty", false, "use the trace's bursty interarrival gaps instead of Poisson")
 		ps         = flag.Bool("ps", false, "run hosts as Processor-Sharing instead of FCFS run-to-completion (ideal-fairness reference)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent policy simulations for -policy all")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on successful exit")
 	)
 	flag.Parse()
+
+	stopCPU, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "simserver:", err)
+		}
+	}()
 
 	wl, err := sita.LoadWorkload(*profile, *seed)
 	if err != nil {

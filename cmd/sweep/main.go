@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"sita/internal/experiment"
+	"sita/internal/profiling"
 	"sita/internal/runner"
 	"sita/internal/trace"
 )
@@ -44,8 +45,21 @@ func main() {
 		reps     = flag.Int("rep", 1, "number of replications (hash-derived seeds); > 1 reports mean and 95% CI tables")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells; output is identical for any value")
 		progress = flag.Bool("progress", false, "report per-experiment cell progress on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on successful exit")
 	)
 	flag.Parse()
+
+	stopCPU, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+		}
+	}()
 
 	cfg := experiment.Default()
 	p, err := trace.ByName(*profile)

@@ -12,6 +12,7 @@ package experiment
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"sita/internal/core"
 	"sita/internal/dist"
@@ -75,12 +76,44 @@ func (c Config) jobsPerPoint() int {
 	return c.Profile.Jobs
 }
 
+// traceCache memoizes Generate across experiment drivers. A full sweep
+// asks for the same (profile, seed) trace dozens of times — once per
+// driver — and generation is pure, so the second request onward reuses the
+// first trace. Cached traces are shared and must be treated as read-only,
+// which every consumer already does (JobsAtLoad, ComputeStats and
+// SplitHalf never write the job slice). A plain mutex-guarded map rather
+// than sync.Map: struct keys then hash without boxing, so cache hits do
+// not allocate.
+var (
+	traceCacheMu sync.Mutex
+	traceCache   = map[traceCacheKey]*trace.Trace{}
+)
+
+type traceCacheKey struct {
+	profile trace.Profile
+	seed    uint64
+}
+
 // buildTrace synthesizes the profile's trace once; experiments re-time it
 // per load.
 func (c Config) buildTrace() (*trace.Trace, error) {
 	p := c.Profile
 	p.Jobs = c.jobsPerPoint()
-	return trace.Generate(p, c.Seed)
+	key := traceCacheKey{profile: p, seed: c.Seed}
+	traceCacheMu.Lock()
+	tr, ok := traceCache[key]
+	traceCacheMu.Unlock()
+	if ok {
+		return tr, nil
+	}
+	tr, err := trace.Generate(p, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	traceCacheMu.Lock()
+	traceCache[key] = tr
+	traceCacheMu.Unlock()
+	return tr, nil
 }
 
 // policySpec names a policy and builds a fresh instance for a given load
@@ -183,18 +216,41 @@ func (c Config) simSweep(id, title string, hosts int, specs []policySpec, poisso
 	return []Table{*mean, *vari}, nil
 }
 
+// statsCache memoizes ComputeStats for cached traces (keyed by the shared
+// trace pointer): the statistic is pure, and its sorted-copy allocation is
+// the Table 1 driver's only remaining per-run cost.
+var (
+	statsCacheMu sync.Mutex
+	statsCache   = map[*trace.Trace]trace.Stats{}
+)
+
+func traceStats(tr *trace.Trace) trace.Stats {
+	statsCacheMu.Lock()
+	st, ok := statsCache[tr]
+	statsCacheMu.Unlock()
+	if ok {
+		return st
+	}
+	st = tr.ComputeStats()
+	statsCacheMu.Lock()
+	statsCache[tr] = st
+	statsCacheMu.Unlock()
+	return st
+}
+
 // Table1 regenerates the trace characterization table for all three
 // workloads.
 func Table1(cfg Config) ([]Table, error) {
 	t := NewTable("table1", "Characteristics of the trace data", "profile", "")
 	t.Columns = []string{"jobs", "mean(s)", "min(s)", "max(s)", "C^2", "tail@halfload"}
+	t.RowLabels = make([]string, 0, 3)
 	for i, p := range []trace.Profile{trace.C90(), trace.J90(), trace.CTC()} {
 		c := cfg.withProfile(p)
 		tr, err := c.buildTrace()
 		if err != nil {
 			return nil, fmt.Errorf("experiment: table1 %s: %w", p.Name, err)
 		}
-		st := tr.ComputeStats()
+		st := traceStats(tr)
 		x := float64(i)
 		t.Add("jobs", x, float64(st.Jobs))
 		t.Add("mean(s)", x, st.Mean)

@@ -28,12 +28,15 @@ type Table struct {
 	xs     map[float64]bool
 }
 
-// NewTable builds an empty table.
+// NewTable builds an empty table. Internal containers are presized for a
+// typical figure (a handful of series over a load sweep) so that building
+// one does not reallocate as rows accumulate.
 func NewTable(id, title, xLabel, yLabel string) *Table {
 	return &Table{
 		ID: id, Title: title, XLabel: xLabel, YLabel: yLabel,
-		series: make(map[string]map[float64]float64),
-		xs:     make(map[float64]bool),
+		order:  make([]string, 0, 8),
+		series: make(map[string]map[float64]float64, 8),
+		xs:     make(map[float64]bool, 16),
 	}
 }
 

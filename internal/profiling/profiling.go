@@ -1,0 +1,52 @@
+// Package profiling wires the runtime/pprof CPU and heap profiles into
+// command-line tools. Commands expose -cpuprofile/-memprofile flags and
+// delegate here, so the flag semantics (empty path = disabled, heap
+// profile preceded by a GC) stay consistent across binaries.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns a function
+// that stops the profile and closes the file. An empty path disables
+// profiling: the returned stop is a no-op and no file is touched.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap writes a heap profile to path, forcing a garbage collection
+// first so the profile reflects live objects rather than collectable
+// garbage. An empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

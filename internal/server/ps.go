@@ -45,7 +45,9 @@ func (h *psHost) advance(now float64) {
 	h.lastUpdate = now
 }
 
-// reschedule cancels any pending completion and schedules the next one.
+// reschedule cancels any pending completion and schedules the next one as
+// a typed event — canceling and rescheduling recycles the engine's slot
+// arena, so the churn of PS arrivals never allocates.
 func (h *psHost) reschedule(now float64) {
 	h.pending.Cancel()
 	if len(h.jobs) == 0 {
@@ -61,7 +63,7 @@ func (h *psHost) reschedule(now float64) {
 		minRemaining = 0
 	}
 	delay := minRemaining * float64(len(h.jobs))
-	h.pending = h.engine.After(delay, h.complete)
+	h.pending = h.engine.ScheduleAfter(delay, sim.Ev{Kind: evPSComplete, Host: int32(h.index)})
 }
 
 // complete retires the job whose completion this event was scheduled for —
@@ -123,6 +125,10 @@ type PSSystem struct {
 	engine *sim.Engine
 	hosts  []*psHost
 	policy Policy
+
+	feed     []workload.Job
+	feedNext int
+	feedBase uint64
 }
 
 // NewPS builds a PS distributed server.
@@ -134,11 +140,16 @@ func NewPS(h int, p Policy, onComplete func(JobRecord)) *PSSystem {
 	if p == nil {
 		panic("server: nil policy")
 	}
-	eng := &sim.Engine{}
+	return newPSOn(&sim.Engine{}, h, p, onComplete)
+}
+
+// newPSOn wires a PSSystem onto an existing engine (fresh or pooled).
+func newPSOn(eng *sim.Engine, h int, p Policy, onComplete func(JobRecord)) *PSSystem {
 	s := &PSSystem{engine: eng, policy: p}
 	for i := 0; i < h; i++ {
 		s.hosts = append(s.hosts, &psHost{index: i, engine: eng, onDone: onComplete})
 	}
+	eng.SetHandler(s)
 	return s
 }
 
@@ -162,7 +173,8 @@ func (s *PSSystem) WorkLeft(i int) float64 {
 // Idle reports whether host i has no jobs.
 func (s *PSSystem) Idle(i int) bool { return len(s.hosts[i].jobs) == 0 }
 
-// Simulate runs the jobs (sorted by arrival) to completion.
+// Simulate runs the jobs (sorted by arrival) to completion, feeding
+// arrivals lazily exactly like System.Simulate.
 // Panics if the jobs are not sorted by arrival time or the policy routes
 // a job outside the host range.
 func (s *PSSystem) Simulate(jobs []workload.Job) {
@@ -172,17 +184,40 @@ func (s *PSSystem) Simulate(jobs []workload.Job) {
 			panic(fmt.Sprintf("server: job %d arrives at %v before %v", i, j.Arrival, prev))
 		}
 		prev = j.Arrival
-		job := j
-		s.engine.At(j.Arrival, func(now float64) {
-			idx := s.policy.Assign(job, s)
-			if idx < 0 || idx >= len(s.hosts) {
-				panic(fmt.Sprintf("server: PS policy %q returned host %d of %d",
-					s.policy.Name(), idx, len(s.hosts)))
-			}
-			s.hosts[idx].add(job, now)
-		})
 	}
+	s.feed = jobs
+	s.feedNext = 0
+	s.feedBase = s.engine.ReserveSeq(len(jobs))
+	s.feedNextArrival()
 	s.engine.Run()
+	s.feed = nil
+}
+
+// feedNextArrival schedules the next unscheduled arrival, if any.
+func (s *PSSystem) feedNextArrival() {
+	if s.feedNext >= len(s.feed) {
+		return
+	}
+	j := s.feed[s.feedNext]
+	s.engine.ScheduleReserved(j.Arrival, s.feedBase+uint64(s.feedNext), sim.Ev{Kind: evPSArrival, Job: j})
+	s.feedNext++
+}
+
+// HandleEvent dispatches the engine's typed events.
+// Panics if the policy routes a job outside the host range.
+func (s *PSSystem) HandleEvent(now float64, ev sim.Ev) {
+	switch ev.Kind {
+	case evPSArrival:
+		s.feedNextArrival()
+		idx := s.policy.Assign(ev.Job, s)
+		if idx < 0 || idx >= len(s.hosts) {
+			panic(fmt.Sprintf("server: PS policy %q returned host %d of %d",
+				s.policy.Name(), idx, len(s.hosts)))
+		}
+		s.hosts[idx].add(ev.Job, now)
+	case evPSComplete:
+		s.hosts[ev.Host].complete(now)
+	}
 }
 
 // RunPS simulates the job list on PS hosts and aggregates metrics like Run.
@@ -196,11 +231,7 @@ func RunPS(jobs []workload.Job, cfg Config) *Result {
 	if cfg.WarmupFraction < 0 || cfg.WarmupFraction >= 1 {
 		panic(fmt.Sprintf("server: warmup fraction %v outside [0, 1)", cfg.WarmupFraction))
 	}
-	renumbered := make([]workload.Job, len(jobs))
-	copy(renumbered, jobs)
-	for i := range renumbered {
-		renumbered[i].ID = i
-	}
+	renumbered := renumber(jobs)
 	warmup := int(cfg.WarmupFraction * float64(len(jobs)))
 	res := &Result{
 		PolicyName:  cfg.Policy.Name() + "/PS",
@@ -211,7 +242,9 @@ func RunPS(jobs []workload.Job, cfg Config) *Result {
 	if cfg.SizeClass != nil {
 		res.Classes = stats.NewClassTally()
 	}
-	sys := NewPS(cfg.Hosts, cfg.Policy, func(rec JobRecord) {
+	eng := sim.Acquire()
+	defer sim.Release(eng)
+	sys := newPSOn(eng, cfg.Hosts, cfg.Policy, func(rec JobRecord) {
 		res.PerHostJobs[rec.Host]++
 		if rec.Departure > res.Horizon {
 			res.Horizon = rec.Departure

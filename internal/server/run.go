@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 
+	"sita/internal/sim"
 	"sita/internal/stats"
 	"sita/internal/workload"
 )
@@ -92,9 +93,9 @@ func (r *Result) Utilization(i int) float64 {
 // engine delivers completions sequentially on the calling goroutine.
 // Concurrent Run calls are safe provided each call gets its own
 // cfg.Policy instance (policies are stateful; see Policy) and its own
-// SizeClass func if that func is stateful. The jobs slice is copied before
-// renumbering and never written, so callers may share one job list across
-// concurrent runs.
+// SizeClass func if that func is stateful. The jobs slice is never
+// written (it is copied first when renumbering is needed), so callers may
+// share one job list across concurrent runs.
 // Panics if cfg.Hosts <= 0 or cfg.WarmupFraction is outside [0, 1).
 func Run(jobs []workload.Job, cfg Config) *Result {
 	if cfg.Hosts <= 0 {
@@ -103,11 +104,7 @@ func Run(jobs []workload.Job, cfg Config) *Result {
 	if cfg.WarmupFraction < 0 || cfg.WarmupFraction >= 1 {
 		panic(fmt.Sprintf("server: warmup fraction %v outside [0, 1)", cfg.WarmupFraction))
 	}
-	renumbered := make([]workload.Job, len(jobs))
-	copy(renumbered, jobs)
-	for i := range renumbered {
-		renumbered[i].ID = i
-	}
+	renumbered := renumber(jobs)
 	warmup := int(cfg.WarmupFraction * float64(len(jobs)))
 
 	res := &Result{
@@ -119,7 +116,9 @@ func Run(jobs []workload.Job, cfg Config) *Result {
 	if cfg.SizeClass != nil {
 		res.Classes = stats.NewClassTally()
 	}
-	sys := NewWithOrder(cfg.Hosts, cfg.Policy, cfg.CentralOrder, func(rec JobRecord) {
+	eng := sim.Acquire()
+	defer sim.Release(eng)
+	sys := newSystemOn(eng, cfg.Hosts, cfg.Policy, cfg.CentralOrder, func(rec JobRecord) {
 		res.PerHostJobs[rec.Host]++
 		res.PerHostWork[rec.Host] += rec.Size
 		if rec.Departure > res.Horizon {
@@ -140,4 +139,28 @@ func Run(jobs []workload.Job, cfg Config) *Result {
 	})
 	sys.Simulate(renumbered)
 	return res
+}
+
+// renumber gives jobs arrival-order ordinals as their IDs. Job streams
+// from workload.Source already carry ordinal IDs, in which case the input
+// is returned as-is (Simulate never writes the slice); otherwise a
+// renumbered copy is made so callers can share one job list across
+// concurrent runs.
+func renumber(jobs []workload.Job) []workload.Job {
+	ordinal := true
+	for i := range jobs {
+		if jobs[i].ID != i {
+			ordinal = false
+			break
+		}
+	}
+	if ordinal {
+		return jobs
+	}
+	renumbered := make([]workload.Job, len(jobs))
+	copy(renumbered, jobs)
+	for i := range renumbered {
+		renumbered[i].ID = i
+	}
+	return renumbered
 }

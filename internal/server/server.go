@@ -32,6 +32,15 @@ const (
 	CentralSJF
 )
 
+// Typed-event kinds for this package's simulations (the FCFS System and
+// the PS variant each own their engine, so one namespace serves both).
+const (
+	evArrival    uint8 = iota + 1 // Ev.Job arrives at the dispatcher
+	evDepart                      // Ev.Job finishes on host Ev.Host (service began at Ev.T0)
+	evPSArrival                   // Ev.Job arrives at the PS dispatcher
+	evPSComplete                  // PS host Ev.Host reaches its next completion
+)
+
 // View is the system state a policy may consult when assigning a job. All
 // queries refer to the instant of the arrival being dispatched.
 type View interface {
@@ -75,15 +84,128 @@ func (r JobRecord) Response() float64 { return r.Wait() + r.Size }
 // Slowdown reports response time divided by service requirement (>= 1).
 func (r JobRecord) Slowdown() float64 { return r.Response() / r.Size }
 
-// host is the simulator's per-host state.
+// host is the simulator's per-host state. The waiting queue is a
+// head-indexed FIFO over a reusable backing array, so steady-state
+// enqueue/dequeue cycles stop touching the allocator once the array has
+// grown to the high-water mark.
 type host struct {
-	queue   []workload.Job // waiting jobs, FIFO
+	queue   []workload.Job // waiting jobs, FIFO from queue[head:]
+	head    int
 	running bool
 	readyAt float64 // when all currently assigned work completes
 	// jobs counts queued+running; workDone accumulates service time of
 	// completed work for utilization accounting.
 	jobs     int
 	workDone float64
+}
+
+// queued reports how many jobs are waiting (excluding the one in service).
+func (h *host) queued() int { return len(h.queue) - h.head }
+
+// enqueue appends a waiting job.
+func (h *host) enqueue(j workload.Job) { h.queue = append(h.queue, j) }
+
+// dequeue removes and returns the oldest waiting job, recycling the
+// backing array once drained.
+func (h *host) dequeue() workload.Job {
+	j := h.queue[h.head]
+	h.head++
+	if h.head == len(h.queue) {
+		h.queue = h.queue[:0]
+		h.head = 0
+	}
+	return j
+}
+
+// centralItem is one held job plus its insertion sequence, the FIFO
+// tie-break among equal sizes.
+type centralItem struct {
+	job workload.Job
+	seq uint64
+}
+
+// centralQueue holds jobs at the dispatcher for pull policies. FCFS mode
+// is a head-indexed FIFO like the per-host queues; SJF mode is a binary
+// min-heap on (size, insertion seq), so a pull is O(log n) instead of the
+// former O(n) scan while preserving that scan's stable pick: strictly
+// smallest size first, earliest-held first among exact ties.
+type centralQueue struct {
+	order CentralOrder
+	fifo  []workload.Job
+	head  int
+	heap  []centralItem
+	seq   uint64
+}
+
+// Len reports how many jobs are held.
+func (q *centralQueue) Len() int {
+	if q.order == CentralSJF {
+		return len(q.heap)
+	}
+	return len(q.fifo) - q.head
+}
+
+// Push holds one job.
+func (q *centralQueue) Push(j workload.Job) {
+	if q.order != CentralSJF {
+		q.fifo = append(q.fifo, j)
+		return
+	}
+	q.heap = append(q.heap, centralItem{job: j, seq: q.seq})
+	q.seq++
+	i := len(q.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+// Pop releases the next job under the queue's discipline.
+func (q *centralQueue) Pop() workload.Job {
+	if q.order != CentralSJF {
+		j := q.fifo[q.head]
+		q.head++
+		if q.head == len(q.fifo) {
+			q.fifo = q.fifo[:0]
+			q.head = 0
+		}
+		return j
+	}
+	j := q.heap[0].job
+	n := len(q.heap) - 1
+	q.heap[0] = q.heap[n]
+	q.heap = q.heap[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && q.less(r, l) {
+			small = r
+		}
+		if !q.less(small, i) {
+			break
+		}
+		q.heap[i], q.heap[small] = q.heap[small], q.heap[i]
+		i = small
+	}
+	return j
+}
+
+// less orders the SJF heap by (size, insertion seq).
+func (q *centralQueue) less(i, j int) bool {
+	a, b := &q.heap[i], &q.heap[j]
+	//lint:allow floateq exact size tie-break; equal sizes fall through to seq for FIFO stability
+	if a.job.Size != b.job.Size {
+		return a.job.Size < b.job.Size
+	}
+	return a.seq < b.seq
 }
 
 // System is the simulated distributed server. Build with New, feed jobs in
@@ -93,10 +215,18 @@ type System struct {
 	hosts  []host
 	policy Policy
 
-	central      []workload.Job // dispatcher queue for pull policies
-	centralOrder CentralOrder
+	central centralQueue // dispatcher queue for pull policies
 
 	onComplete func(JobRecord)
+
+	// Lazy arrival feeding: Simulate keeps exactly one pending arrival
+	// event, so the event heap holds O(hosts) entries instead of the whole
+	// trace. feedBase is the block of FIFO sequence numbers reserved for
+	// the arrivals, which keeps simultaneous-event ordering identical to
+	// eager pre-scheduling (see sim.ReserveSeq).
+	feed     []workload.Job
+	feedNext int
+	feedBase uint64
 
 	// Little's-law accounting: time-integral of the number of waiting jobs
 	// (queued at hosts or held centrally, excluding jobs in service).
@@ -120,13 +250,20 @@ func NewWithOrder(h int, p Policy, order CentralOrder, onComplete func(JobRecord
 	if p == nil {
 		panic("server: nil policy")
 	}
-	return &System{
-		engine:       &sim.Engine{},
-		hosts:        make([]host, h),
-		policy:       p,
-		centralOrder: order,
-		onComplete:   onComplete,
+	return newSystemOn(&sim.Engine{}, h, p, order, onComplete)
+}
+
+// newSystemOn wires a System onto an existing engine (fresh or pooled).
+func newSystemOn(eng *sim.Engine, h int, p Policy, order CentralOrder, onComplete func(JobRecord)) *System {
+	s := &System{
+		engine:     eng,
+		hosts:      make([]host, h),
+		policy:     p,
+		central:    centralQueue{order: order},
+		onComplete: onComplete,
 	}
+	eng.SetHandler(s)
+	return s
 }
 
 // View interface implementation: the System itself is the policy's view.
@@ -140,7 +277,7 @@ func (s *System) NumJobs(i int) int { return s.hosts[i].jobs }
 // WorkLeft reports remaining work at host i at the current instant.
 func (s *System) WorkLeft(i int) float64 {
 	left := s.hosts[i].readyAt - s.engine.Now()
-	if left < 0 || !s.hosts[i].running && len(s.hosts[i].queue) == 0 {
+	if left < 0 || !s.hosts[i].running && s.hosts[i].queued() == 0 {
 		return 0
 	}
 	return left
@@ -152,6 +289,13 @@ func (s *System) Idle(i int) bool { return s.hosts[i].jobs == 0 }
 // Simulate runs the full job list through the system and waits for every
 // job to finish. Jobs must be sorted by arrival time; Simulate panics if
 // they are not.
+//
+// Arrivals are fed lazily: exactly one arrival event is pending at any
+// instant, and firing it schedules the next, so the event heap stays
+// O(hosts) deep regardless of trace length. The arrivals' FIFO sequence
+// numbers are reserved as a block up front, which makes the event order —
+// and therefore every simulated record — identical to pre-scheduling the
+// whole trace.
 func (s *System) Simulate(jobs []workload.Job) {
 	prev := 0.0
 	for i, j := range jobs {
@@ -159,10 +303,38 @@ func (s *System) Simulate(jobs []workload.Job) {
 			panic(fmt.Sprintf("server: job %d arrives at %v before %v", i, j.Arrival, prev))
 		}
 		prev = j.Arrival
-		job := j
-		s.engine.At(j.Arrival, func(now float64) { s.arrive(job, now) })
 	}
+	s.feed = jobs
+	s.feedNext = 0
+	s.feedBase = s.engine.ReserveSeq(len(jobs))
+	s.feedNextArrival()
 	s.engine.Run()
+	s.feed = nil
+}
+
+// feedNextArrival schedules the next unscheduled arrival, if any.
+func (s *System) feedNextArrival() {
+	if s.feedNext >= len(s.feed) {
+		return
+	}
+	j := s.feed[s.feedNext]
+	s.engine.ScheduleReserved(j.Arrival, s.feedBase+uint64(s.feedNext), sim.Ev{Kind: evArrival, Job: j})
+	s.feedNext++
+}
+
+// HandleEvent dispatches the engine's typed events.
+func (s *System) HandleEvent(now float64, ev sim.Ev) {
+	switch ev.Kind {
+	case evArrival:
+		s.feedNextArrival()
+		s.arrive(ev.Job, now)
+	case evDepart:
+		s.depart(int(ev.Host), JobRecord{
+			ID: ev.Job.ID, Host: int(ev.Host),
+			Arrival: ev.Job.Arrival, Size: ev.Job.Size,
+			Start: ev.T0, Departure: now,
+		}, now)
+	}
 }
 
 // arrive routes one job through the policy at its arrival instant.
@@ -176,9 +348,9 @@ func (s *System) arrive(job workload.Job, now float64) {
 		// robust and drain immediately.
 		s.accrueQueue(now)
 		s.waitingJobs++
-		s.central = append(s.central, job)
+		s.central.Push(job)
 		for i := range s.hosts {
-			if s.hosts[i].jobs == 0 && len(s.central) > 0 {
+			if s.hosts[i].jobs == 0 && s.central.Len() > 0 {
 				s.startNextCentral(i, now)
 			}
 		}
@@ -194,7 +366,7 @@ func (s *System) arrive(job workload.Job, now float64) {
 		// again when the job is later dequeued.
 		s.accrueQueue(now)
 		s.waitingJobs++
-		h.queue = append(h.queue, job)
+		h.enqueue(job)
 		h.readyAt += job.Size
 		return
 	}
@@ -203,17 +375,13 @@ func (s *System) arrive(job workload.Job, now float64) {
 }
 
 // start begins service for a job whose work is already accounted in the
-// host's readyAt backlog.
+// host's readyAt backlog. The departure event carries the job and the
+// service-start instant, from which the JobRecord is rebuilt bit-exactly
+// at completion.
 func (s *System) start(idx int, job workload.Job, now float64) {
 	h := &s.hosts[idx]
 	h.running = true
-	depart := now + job.Size
-	rec := JobRecord{
-		ID: job.ID, Host: idx,
-		Arrival: job.Arrival, Size: job.Size,
-		Start: now, Departure: depart,
-	}
-	s.engine.At(depart, func(t float64) { s.depart(idx, rec, t) })
+	s.engine.Schedule(now+job.Size, sim.Ev{Kind: evDepart, Host: int32(idx), T0: now, Job: job})
 }
 
 func (s *System) depart(idx int, rec JobRecord, now float64) {
@@ -224,41 +392,20 @@ func (s *System) depart(idx int, rec JobRecord, now float64) {
 	if s.onComplete != nil {
 		s.onComplete(rec)
 	}
-	if len(h.queue) > 0 {
-		next := h.queue[0]
-		// Re-slice; allow the backing array to be reused when drained.
-		h.queue = h.queue[1:]
-		if len(h.queue) == 0 {
-			h.queue = nil
-		}
+	if h.queued() > 0 {
+		next := h.dequeue()
 		s.accrueQueue(now)
 		s.waitingJobs--
 		s.start(idx, next, now)
 		return
 	}
-	if len(s.central) > 0 {
+	if s.central.Len() > 0 {
 		s.startNextCentral(idx, now)
 	}
 }
 
 func (s *System) startNextCentral(idx int, now float64) {
-	pick := 0
-	if s.centralOrder == CentralSJF {
-		for i, j := range s.central[1:] {
-			if j.Size < s.central[pick].Size {
-				pick = i + 1
-			}
-		}
-	}
-	job := s.central[pick]
-	if pick == 0 {
-		s.central = s.central[1:]
-	} else {
-		s.central = append(s.central[:pick], s.central[pick+1:]...)
-	}
-	if len(s.central) == 0 {
-		s.central = nil
-	}
+	job := s.central.Pop()
 	s.accrueQueue(now)
 	s.waitingJobs--
 	h := &s.hosts[idx]

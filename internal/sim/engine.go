@@ -2,75 +2,113 @@
 // a virtual clock and a time-ordered event queue with stable FIFO ordering
 // for simultaneous events. The distributed-server model in internal/server
 // runs on top of it.
+//
+// The kernel is allocation-free in steady state. Events live as values in
+// an indexed binary heap — no per-event heap object, no per-event closure
+// on the hot path — and carry a small typed payload (Ev: kind + host index
+// + job) dispatched to a Handler. Closure events (At/After) remain
+// available for tests and one-off timers. Cancellation uses
+// generation-counted handles into a reusable slot arena, so a Handle stays
+// 16 bytes and a stale handle (its event fired, or the engine was Reset)
+// is a safe no-op. Engines are reusable via Reset and poolable via
+// Acquire/Release, so a sweep of thousands of simulation cells reuses a
+// few engines' backing arrays instead of reallocating per cell.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand/v2"
+	"sync"
 )
 
 // Event is a callback scheduled to run at a virtual time.
 type Event func(now float64)
 
-type item struct {
+// Job is the unit of simulated work typed events carry by value: an
+// identifier, an arrival instant, and a service requirement in seconds.
+// internal/workload aliases this type as its Job, so the kernel can carry
+// one inside an event payload without an import cycle.
+type Job struct {
+	ID      int
+	Arrival float64
+	Size    float64
+}
+
+// Ev is a typed event payload. Kind is client-defined (each Handler owns
+// its engine and therefore its kind namespace); Host, T0 and Job are
+// free-form payload fields — conventionally the host index the event
+// targets, an auxiliary timestamp (e.g. service start), and the job the
+// event is about.
+type Ev struct {
+	Kind uint8
+	Host int32
+	T0   float64
+	Job  Job
+}
+
+// Handler consumes typed events. An engine dispatches every event
+// scheduled via Schedule/ScheduleReserved to its handler; models
+// (internal/server, internal/tags) implement Handler and switch on
+// Ev.Kind.
+type Handler interface {
+	HandleEvent(now float64, ev Ev)
+}
+
+// entry is one element of the event heap: the firing time, the FIFO
+// tie-break sequence, and the index of the slot holding the payload.
+// Entries are small values, so sift operations move 24 bytes and never
+// touch the allocator.
+type entry struct {
 	at  float64
-	seq uint64 // tie-breaker: FIFO among simultaneous events
-	fn  Event
-	// index within the heap, maintained by the heap interface, needed for
-	// cancellation.
-	index    int
+	seq uint64
+	id  int32
+}
+
+// slot holds a scheduled event's payload in the engine's slot arena.
+// gen increments every time the slot is freed, invalidating outstanding
+// Handles; canceled marks a lazily-canceled event still in the heap.
+type slot struct {
+	gen      uint32
 	canceled bool
+	ev       Ev
+	fn       Event
 }
 
-// Handle identifies a scheduled event so it can be canceled.
-type Handle struct{ it *item }
+// Handle identifies a scheduled event so it can be canceled. The zero
+// Handle is valid and cancels nothing.
+type Handle struct {
+	e   *Engine
+	id  int32
+	gen uint32
+}
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
+// Cancel prevents the event from firing. Canceling an already-fired,
+// already-canceled, or zero Handle is a no-op, as is canceling across an
+// Engine.Reset (the reset bumps every slot generation).
 func (h Handle) Cancel() {
-	if h.it != nil {
-		h.it.canceled = true
+	if h.e == nil || int(h.id) >= len(h.e.slots) {
+		return
 	}
-}
-
-type eventHeap []*item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	//lint:allow floateq exact event-time tie-break; equal times fall through to seq for determinism
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	s := &h.e.slots[h.id]
+	if s.gen != h.gen || s.canceled {
+		return
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	it := x.(*item)
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+	s.canceled = true
+	h.e.live--
 }
 
-// Engine is a single-threaded discrete-event simulator. The zero value is a
-// ready-to-use engine starting at time 0.
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// a ready-to-use engine starting at time 0.
 type Engine struct {
 	now     float64
 	seq     uint64
-	events  eventHeap
+	events  []entry // binary min-heap on (at, seq)
+	slots   []slot  // payload arena; entries point into it by index
+	free    []int32 // freelist of reusable slot indices
+	live    int     // scheduled and not canceled
 	stopped bool
 	fired   uint64
+	handler Handler
 }
 
 // Now reports the current virtual time.
@@ -80,20 +118,110 @@ func (e *Engine) Now() float64 { return e.now }
 // complexity assertions in tests.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports how many events are scheduled (including canceled ones
-// not yet drained).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports how many live (scheduled and not canceled) events
+// remain. Canceled events still occupying heap slots until drained are
+// not counted.
+func (e *Engine) Pending() int { return e.live }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it is always a model bug.
-func (e *Engine) At(t float64, fn Event) Handle {
+// SetHandler installs the typed-event consumer. Schedule panics at fire
+// time if no handler is installed.
+func (e *Engine) SetHandler(h Handler) { e.handler = h }
+
+// less orders heap entries by (time, seq): virtual time first, schedule
+// order among simultaneous events.
+func (e *Engine) less(i, j int) bool {
+	a, b := e.events[i], e.events[j]
+	//lint:allow floateq exact event-time tie-break; equal times fall through to seq for determinism
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			return
+		}
+		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.events)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		small := l
+		if r := l + 1; r < n && e.less(r, l) {
+			small = r
+		}
+		if !e.less(small, i) {
+			return
+		}
+		e.events[i], e.events[small] = e.events[small], e.events[i]
+		i = small
+	}
+}
+
+// popTop removes the heap minimum (the caller reads events[0] first).
+func (e *Engine) popTop() {
+	n := len(e.events) - 1
+	e.events[0] = e.events[n]
+	e.events = e.events[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+}
+
+// allocSlot takes a slot from the freelist, growing the arena if empty.
+func (e *Engine) allocSlot() int32 {
+	if n := len(e.free); n > 0 {
+		id := e.free[n-1]
+		e.free = e.free[:n-1]
+		return id
+	}
+	e.slots = append(e.slots, slot{})
+	return int32(len(e.slots) - 1)
+}
+
+// freeSlot returns a slot to the freelist, invalidating outstanding
+// handles and dropping payload references so closures are not retained.
+func (e *Engine) freeSlot(id int32) {
+	s := &e.slots[id]
+	s.gen++
+	s.canceled = false
+	s.ev = Ev{}
+	s.fn = nil
+	e.free = append(e.free, id)
+}
+
+// push schedules one event value.
+// Panics if t is before the current virtual time: it is always a model bug.
+func (e *Engine) push(t float64, seq uint64, ev Ev, fn Event) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
-	it := &item{at: t, seq: e.seq, fn: fn}
+	id := e.allocSlot()
+	s := &e.slots[id]
+	s.ev = ev
+	s.fn = fn
+	e.events = append(e.events, entry{at: t, seq: seq, id: id})
+	e.siftUp(len(e.events) - 1)
+	e.live++
+	return Handle{e: e, id: id, gen: s.gen}
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it is always a model bug.
+func (e *Engine) At(t float64, fn Event) Handle {
+	h := e.push(t, e.seq, Ev{}, fn)
 	e.seq++
-	heap.Push(&e.events, it)
-	return Handle{it: it}
+	return h
 }
 
 // After schedules fn to run delay time units from now.
@@ -103,6 +231,47 @@ func (e *Engine) After(delay float64, fn Event) Handle {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
 	return e.At(e.now+delay, fn)
+}
+
+// Schedule schedules a typed event at absolute virtual time t, dispatched
+// to the engine's Handler. Panics if t is in the past.
+func (e *Engine) Schedule(t float64, ev Ev) Handle {
+	h := e.push(t, e.seq, ev, nil)
+	e.seq++
+	return h
+}
+
+// ScheduleAfter schedules a typed event delay time units from now.
+// Panics if delay is negative.
+func (e *Engine) ScheduleAfter(delay float64, ev Ev) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.Schedule(e.now+delay, ev)
+}
+
+// ReserveSeq reserves n consecutive FIFO sequence numbers and returns the
+// first. A lazy event source (internal/server feeding arrivals one at a
+// time) reserves one number per future event up front and schedules each
+// event with ScheduleReserved(..., base+i, ...): simultaneous events then
+// order exactly as if all n had been scheduled eagerly before anything
+// else, which is what keeps results byte-identical across feeding
+// strategies.
+func (e *Engine) ReserveSeq(n int) uint64 {
+	base := e.seq
+	e.seq += uint64(n)
+	return base
+}
+
+// ScheduleReserved schedules a typed event with a sequence number
+// previously obtained from ReserveSeq. Panics if t is in the past or seq
+// was not reserved (>= the engine's sequence counter): both are model
+// bugs.
+func (e *Engine) ScheduleReserved(t float64, seq uint64, ev Ev) Handle {
+	if seq >= e.seq {
+		panic(fmt.Sprintf("sim: sequence %d not reserved (counter at %d)", seq, e.seq))
+	}
+	return e.push(t, seq, ev, nil)
 }
 
 // Stop makes the current Run call return after the executing event
@@ -116,23 +285,19 @@ func (e *Engine) Run() {
 }
 
 // RunUntil executes events with timestamp <= horizon (or all events when
-// horizon < 0). The clock advances to each event's time; if the queue drains
-// earlier the clock stays at the last event.
+// horizon < 0). The clock advances to each event's time; if the queue
+// drains earlier the clock stays at the last event. Panics (from the
+// dispatch path) if a typed event fires with no Handler installed.
 func (e *Engine) RunUntil(horizon float64) {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
-		it := e.events[0]
-		if horizon >= 0 && it.at > horizon {
+		top := e.events[0]
+		if horizon >= 0 && top.at > horizon {
 			e.now = horizon
 			return
 		}
-		heap.Pop(&e.events)
-		if it.canceled {
-			continue
-		}
-		e.now = it.at
-		e.fired++
-		it.fn(e.now)
+		e.popTop()
+		e.fire(top)
 	}
 }
 
@@ -140,17 +305,77 @@ func (e *Engine) RunUntil(horizon float64) {
 // available.
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
-		it := heap.Pop(&e.events).(*item)
-		if it.canceled {
-			continue
+		top := e.events[0]
+		e.popTop()
+		if e.fire(top) {
+			return true
 		}
-		e.now = it.at
-		e.fired++
-		it.fn(e.now)
-		return true
 	}
 	return false
 }
+
+// fire dispatches one popped heap entry, reporting whether it was live.
+// The slot is freed before dispatch so the callback can schedule new
+// events into the just-vacated slot (the generation bump keeps stale
+// handles inert).
+func (e *Engine) fire(top entry) bool {
+	s := &e.slots[top.id]
+	if s.canceled {
+		e.freeSlot(top.id)
+		return false
+	}
+	ev, fn := s.ev, s.fn
+	e.freeSlot(top.id)
+	e.live--
+	e.now = top.at
+	e.fired++
+	if fn != nil {
+		fn(e.now)
+	} else {
+		e.handler.HandleEvent(e.now, ev)
+	}
+	return true
+}
+
+// Reset returns the engine to its zero state — time 0, empty queue,
+// sequence counter 0 — while keeping the heap, slot arena, and freelist
+// capacity for reuse. Every outstanding Handle is invalidated (its slot
+// generation advances), so canceling across a Reset is a no-op. The
+// handler is kept; replace it with SetHandler when repurposing the
+// engine.
+func (e *Engine) Reset() {
+	for _, en := range e.events {
+		e.freeSlot(en.id)
+	}
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+	e.live = 0
+	e.fired = 0
+	e.stopped = false
+}
+
+// enginePool recycles engines across simulation cells: a sweep's worker
+// goroutines Acquire/Release thousands of times but allocate only a
+// handful of engines, and each reuse carries warmed-up heap and arena
+// capacity with it.
+var enginePool = sync.Pool{New: func() any { return new(Engine) }}
+
+// Acquire returns a Reset engine from a process-wide reuse pool. Pair
+// with Release when the simulation is done. Safe for concurrent use; the
+// engine itself remains single-goroutine.
+func Acquire() *Engine {
+	e := enginePool.Get().(*Engine)
+	e.Reset()
+	e.handler = nil
+	return e
+}
+
+// Release returns an engine to the reuse pool. The caller must not use
+// the engine afterwards (outstanding Handles become inert only after the
+// next Acquire's Reset, so do not Release an engine whose handles are
+// still being canceled).
+func Release(e *Engine) { enginePool.Put(e) }
 
 // NewRNG derives a deterministic PCG generator from a seed and a stream
 // index. Separate streams decouple, e.g., arrival times from job sizes so

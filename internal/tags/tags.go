@@ -48,6 +48,133 @@ func (r *Result) WasteFraction() float64 {
 	return r.WastedWork / done
 }
 
+// Typed-event kinds for the TAGS simulation.
+const (
+	evArrival uint8 = iota + 1 // Ev.Job arrives at Host 1
+	evDone                     // Ev.Job's run on host Ev.Host ends (kill or completion)
+)
+
+// tagsHost is one host's FCFS state; the waiting queue is a head-indexed
+// FIFO over a reusable backing array, like internal/server's hosts.
+type tagsHost struct {
+	queue   []workload.Job
+	head    int
+	running bool
+}
+
+func (h *tagsHost) queued() int { return len(h.queue) - h.head }
+
+func (h *tagsHost) dequeue() workload.Job {
+	j := h.queue[h.head]
+	h.head++
+	if h.head == len(h.queue) {
+		h.queue = h.queue[:0]
+		h.head = 0
+	}
+	return j
+}
+
+// tagsSim is the event handler for one TAGS run: lazy arrival feeding plus
+// the kill-and-restart host chain. The run budget of a job on host h is a
+// pure function of (job size, h, cutoffs), so the evDone event recomputes
+// it at fire time instead of carrying it in a closure.
+type tagsSim struct {
+	eng     *sim.Engine
+	cutoffs []float64
+	res     *Result
+	hs      []tagsHost
+	warmup  int
+
+	feed     []workload.Job
+	feedNext int
+	feedBase uint64
+}
+
+// runBudget reports how long a job may run on host h and whether it is
+// killed at that budget.
+func (t *tagsSim) runBudget(h int, job workload.Job) (runFor float64, killed bool) {
+	if h < len(t.cutoffs) && job.Size > t.cutoffs[h] {
+		return t.cutoffs[h], true
+	}
+	return job.Size, false
+}
+
+// start begins a run of job on host h (busy time accrues at start, as the
+// budget is committed).
+func (t *tagsSim) start(h int, job workload.Job, now float64) {
+	t.hs[h].running = true
+	runFor, _ := t.runBudget(h, job)
+	t.res.PerHostBusy[h] += runFor
+	t.eng.ScheduleAfter(runFor, sim.Ev{Kind: evDone, Host: int32(h), Job: job})
+}
+
+// feedNextArrival schedules the next unscheduled arrival, renumbering by
+// arrival order for warmup accounting.
+func (t *tagsSim) feedNextArrival() {
+	if t.feedNext >= len(t.feed) {
+		return
+	}
+	j := t.feed[t.feedNext]
+	j.ID = t.feedNext
+	t.eng.ScheduleReserved(j.Arrival, t.feedBase+uint64(t.feedNext), sim.Ev{Kind: evArrival, Job: j})
+	t.feedNext++
+}
+
+// HandleEvent dispatches the engine's typed events.
+func (t *tagsSim) HandleEvent(now float64, ev sim.Ev) {
+	switch ev.Kind {
+	case evArrival:
+		t.feedNextArrival()
+		if t.hs[0].running || t.hs[0].queued() > 0 {
+			t.hs[0].queue = append(t.hs[0].queue, ev.Job)
+		} else {
+			t.start(0, ev.Job, now)
+		}
+	case evDone:
+		t.done(int(ev.Host), ev.Job, now)
+	}
+}
+
+// done ends a job's run on host h: a kill restarts it from scratch on
+// host h+1, a completion records its statistics; either way the host
+// pulls its next queued job.
+func (t *tagsSim) done(h int, job workload.Job, now float64) {
+	res := t.res
+	runFor, killed := t.runBudget(h, job)
+	t.hs[h].running = false
+	if killed {
+		res.WastedWork += runFor
+		// Restart from scratch on the next host.
+		next := h + 1
+		if t.hs[next].running || t.hs[next].queued() > 0 {
+			t.hs[next].queue = append(t.hs[next].queue, job)
+		} else {
+			t.start(next, job, now)
+		}
+	} else {
+		res.TotalWork += job.Size
+		res.PerHostCompleted[h]++
+		if now > res.Horizon {
+			res.Horizon = now
+		}
+		if job.ID >= t.warmup {
+			response := now - job.Arrival
+			res.Response.Add(response)
+			slow := response / job.Size
+			if slow < 1 {
+				// Floating-point guard: a job served the moment it
+				// arrives can round a hair below its size.
+				slow = 1
+			}
+			res.Slowdown.Add(slow)
+		}
+	}
+	// Pull the next job on this host.
+	if t.hs[h].queued() > 0 {
+		t.start(h, t.hs[h].dequeue(), now)
+	}
+}
+
 // Simulate runs the job list through a TAGS system with the given internal
 // cutoffs (len = hosts-1, ascending; host i kills at cutoffs[i], the last
 // host never kills). Jobs must be sorted by arrival time. warmup is the
@@ -57,91 +184,31 @@ func Simulate(jobs []workload.Job, cutoffs []float64, warmup float64) *Result {
 	if !sort.Float64sAreSorted(cutoffs) {
 		panic(fmt.Sprintf("tags: cutoffs must ascend, got %v", cutoffs))
 	}
-	hosts := len(cutoffs) + 1
-	res := &Result{
-		PerHostCompleted: make([]int64, hosts),
-		PerHostBusy:      make([]float64, hosts),
-	}
-	warmupCount := int(warmup * float64(len(jobs)))
-
-	type hostState struct {
-		queue   []workload.Job
-		running bool
-	}
-	hs := make([]hostState, hosts)
-	eng := &sim.Engine{}
-
-	var start func(h int, job workload.Job, now float64)
-	finishOrKill := func(h int, job workload.Job, started float64) {
-		// Runs until completion or the host's kill threshold.
-		runFor := job.Size
-		killed := false
-		if h < len(cutoffs) && job.Size > cutoffs[h] {
-			runFor = cutoffs[h]
-			killed = true
-		}
-		res.PerHostBusy[h] += runFor
-		eng.After(runFor, func(now float64) {
-			hs[h].running = false
-			if killed {
-				res.WastedWork += runFor
-				// Restart from scratch on the next host.
-				next := h + 1
-				if hs[next].running || len(hs[next].queue) > 0 {
-					hs[next].queue = append(hs[next].queue, job)
-				} else {
-					start(next, job, now)
-				}
-			} else {
-				res.TotalWork += job.Size
-				res.PerHostCompleted[h]++
-				if now > res.Horizon {
-					res.Horizon = now
-				}
-				if job.ID >= warmupCount {
-					response := now - job.Arrival
-					res.Response.Add(response)
-					slow := response / job.Size
-					if slow < 1 {
-						// Floating-point guard: a job served the moment it
-						// arrives can round a hair below its size.
-						slow = 1
-					}
-					res.Slowdown.Add(slow)
-				}
-			}
-			// Pull the next job on this host.
-			if len(hs[h].queue) > 0 {
-				nxt := hs[h].queue[0]
-				hs[h].queue = hs[h].queue[1:]
-				if len(hs[h].queue) == 0 {
-					hs[h].queue = nil
-				}
-				start(h, nxt, now)
-			}
-		})
-	}
-	start = func(h int, job workload.Job, now float64) {
-		hs[h].running = true
-		finishOrKill(h, job, now)
-	}
-
 	prev := 0.0
 	for i, j := range jobs {
 		if j.Arrival < prev {
 			panic(fmt.Sprintf("tags: job %d arrives at %v before %v", i, j.Arrival, prev))
 		}
 		prev = j.Arrival
-		job := j
-		job.ID = i // renumber by arrival order for warmup accounting
-		eng.At(j.Arrival, func(now float64) {
-			if hs[0].running || len(hs[0].queue) > 0 {
-				hs[0].queue = append(hs[0].queue, job)
-			} else {
-				start(0, job, now)
-			}
-		})
 	}
+	hosts := len(cutoffs) + 1
+	res := &Result{
+		PerHostCompleted: make([]int64, hosts),
+		PerHostBusy:      make([]float64, hosts),
+	}
+	eng := sim.Acquire()
+	defer sim.Release(eng)
+	t := &tagsSim{
+		eng:     eng,
+		cutoffs: cutoffs,
+		res:     res,
+		hs:      make([]tagsHost, hosts),
+		warmup:  int(warmup * float64(len(jobs))),
+		feed:    jobs,
+	}
+	eng.SetHandler(t)
+	t.feedBase = eng.ReserveSeq(len(jobs))
+	t.feedNextArrival()
 	eng.Run()
 	return res
 }

@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"sita/internal/dist"
 	"sita/internal/sim"
@@ -128,27 +129,28 @@ type Stats struct {
 	GapSCV float64
 }
 
-// ComputeStats derives the Table 1 row from the trace.
+// ComputeStats derives the Table 1 row from the trace. Size and gap
+// moments stream in a single pass; the only allocation is the sorted size
+// copy the tail statistic needs.
 func (t *Trace) ComputeStats() Stats {
-	var sizes stats.Stream
-	sample := stats.NewSample(len(t.Jobs))
-	for _, j := range t.Jobs {
+	var sizes, gaps stats.Stream
+	sorted := make([]float64, len(t.Jobs))
+	prev := 0.0
+	for i, j := range t.Jobs {
 		sizes.Add(j.Size)
-		sample.Add(j.Size)
+		gaps.Add(j.Arrival - prev)
+		prev = j.Arrival
+		sorted[i] = j.Size
 	}
-	var gaps stats.Stream
-	for _, g := range t.Gaps() {
-		gaps.Add(g)
-	}
+	sort.Float64s(sorted)
 	// Find the smallest job fraction whose biggest jobs hold half the load.
-	vs := sample.Values()
 	total := sizes.Sum()
 	cum := 0.0
 	tailFrac := 1.0
-	for i := len(vs) - 1; i >= 0; i-- {
-		cum += vs[i]
+	for i := len(sorted) - 1; i >= 0; i-- {
+		cum += sorted[i]
 		if cum >= total/2 {
-			tailFrac = float64(len(vs)-i) / float64(len(vs))
+			tailFrac = float64(len(sorted)-i) / float64(len(sorted))
 			break
 		}
 	}

@@ -9,16 +9,15 @@ import (
 	"math/rand/v2"
 
 	"sita/internal/dist"
+	"sita/internal/sim"
 )
 
 // Job is one batch job: an arrival instant and a CPU service requirement in
 // seconds. Hosts are identical and jobs get a host exclusively, so the
-// service requirement fully determines execution time.
-type Job struct {
-	ID      int
-	Arrival float64
-	Size    float64
-}
+// service requirement fully determines execution time. Job aliases the
+// event kernel's value type so typed event payloads (sim.Ev) can carry a
+// job without boxing or an import cycle.
+type Job = sim.Job
 
 // ArrivalProcess produces successive interarrival gaps. Implementations may
 // be stateful (MMPP, replay); a fresh process must be built per simulation

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# scripts/bench.sh — benchmark snapshot of the simulation hot path.
+#
+# Runs the experiment-level benchmarks the perf PRs track (Table 1, the
+# h-sweep Figure 6, the analytic Figure 9), the per-policy simulator
+# throughput benchmark, and the kernel micro-benchmarks in internal/sim,
+# all with -benchmem so allocs/op regressions are visible.
+#
+# Usage:
+#   scripts/bench.sh [outfile]        # default /tmp/bench.txt
+#
+# The paired before/after numbers for each perf PR are recorded in
+# BENCH_<pr>.json and summarized in EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-/tmp/bench.txt}"
+count="${BENCH_COUNT:-5}"
+
+{
+  echo "# go: $(go version)"
+  echo "# date: $(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  echo "# commit: $(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  # Experiment-level drivers: one full driver invocation per iteration
+  # (-benchtime 1x bounds the walltime; -count gives the samples).
+  go test -run '^$' -bench 'BenchmarkTable1$|BenchmarkFigure6$|BenchmarkFigure9$' \
+    -benchmem -benchtime 1x -count "$count" .
+  # Raw simulator throughput per policy (jobs/s through the event kernel).
+  go test -run '^$' -bench 'BenchmarkSimulatorThroughput' -benchmem -count "$count" .
+  # Kernel micro-benchmarks: event scheduling, typed events, cancel, reuse.
+  go test -run '^$' -bench . -benchmem -count "$count" ./internal/sim/
+} | tee "$out"
