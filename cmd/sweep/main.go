@@ -13,6 +13,10 @@
 //
 // Experiment ids: table1, fig2..fig13, cutoff-sensitivity,
 // misclassification, burstiness, multi-cutoff, fairness-profile.
+//
+// Some sweeps are opt-in and excluded from -exp all (and from results/):
+//
+//	sweep -exp many-hosts           # indexed policies at h = 64..4096
 package main
 
 import (

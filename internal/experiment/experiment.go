@@ -141,6 +141,18 @@ func specLWL() policySpec {
 	}}
 }
 
+func specShortestQueue() policySpec {
+	return policySpec{name: "Shortest-Queue", build: func(float64, dist.BoundedPareto, int, uint64) (server.Policy, error) {
+		return policy.NewShortestQueue(), nil
+	}}
+}
+
+func specCentralQueue() policySpec {
+	return policySpec{name: "Central-Queue", build: func(float64, dist.BoundedPareto, int, uint64) (server.Policy, error) {
+		return policy.NewCentralQueue(), nil
+	}}
+}
+
 func specSITA(v core.Variant) policySpec {
 	return policySpec{name: v.String(), build: func(load float64, size dist.BoundedPareto, hosts int, _ uint64) (server.Policy, error) {
 		d, err := core.NewDesign(v, load, size, hosts)
@@ -305,7 +317,10 @@ func Figure5(cfg Config) ([]Table, error) {
 // the grouped SITA policies of section 5.
 func Figure6(cfg Config) ([]Table, error) {
 	const load = 0.7
-	hostCounts := []int{2, 4, 8, 16, 32, 48, 64, 80, 100}
+	// 2..100 are the paper's plotted range; 128..256 extend the crossover
+	// region now that indexed host selection makes large h cheap (the
+	// many-hosts driver pushes further still).
+	hostCounts := []int{2, 4, 8, 16, 32, 48, 64, 80, 100, 128, 192, 256}
 	tr, err := cfg.buildTrace()
 	if err != nil {
 		return nil, err
@@ -474,6 +489,9 @@ func Drivers() map[string]func(Config) ([]Table, error) {
 		"estimate-noise":     EstimateNoise,
 		"response-time":      ResponseTime,
 		"variance-analysis":  VarianceAnalysis,
+		// Opt-in sweeps, absent from IDs() so `-exp all` (and the recorded
+		// results/ corpus) excludes them:
+		"many-hosts": ManyHosts,
 	}
 }
 

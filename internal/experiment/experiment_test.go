@@ -279,14 +279,31 @@ func TestMisclassificationDegradesGracefully(t *testing.T) {
 }
 
 func TestDriversRegistryComplete(t *testing.T) {
+	// Opt-in sweeps are runnable by id but deliberately excluded from
+	// IDs(), so `-exp all` — and the recorded results/ corpus — skips them.
+	optIn := []string{"many-hosts"}
 	drivers := Drivers()
 	for _, id := range IDs() {
 		if _, ok := drivers[id]; !ok {
 			t.Errorf("IDs lists %q but Drivers lacks it", id)
 		}
 	}
-	if len(drivers) != len(IDs()) {
-		t.Errorf("drivers %d != ids %d", len(drivers), len(IDs()))
+	for _, id := range optIn {
+		if _, ok := drivers[id]; !ok {
+			t.Errorf("opt-in driver %q missing from Drivers", id)
+		}
+	}
+	ids := map[string]bool{}
+	for _, id := range IDs() {
+		ids[id] = true
+	}
+	for _, id := range optIn {
+		if ids[id] {
+			t.Errorf("opt-in driver %q must not appear in IDs()", id)
+		}
+	}
+	if len(drivers) != len(IDs())+len(optIn) {
+		t.Errorf("drivers %d != ids %d + opt-in %d", len(drivers), len(IDs()), len(optIn))
 	}
 }
 

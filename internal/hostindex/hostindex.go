@@ -1,0 +1,305 @@
+// Package hostindex provides incremental argmin indices over a fixed set
+// of host ids 0..h-1, the data structures behind the O(log h) host
+// selection fast path in internal/server and internal/policy.
+//
+// Three structures compose:
+//
+//   - Tree: a tournament (complete binary segment) tree computing
+//     argmin over (key[i], i) lexicographically — strictly smallest key
+//     first, lowest host index among exact key ties, which is precisely
+//     the pick of a lowest-index-wins linear scan. Point updates are
+//     O(log h); the global argmin is O(1) (the root); range argmin is
+//     O(log h).
+//   - BitSet: a dense bitmap over host ids with lowest-set-bit queries
+//     (global and range), used as an idle-host freelist and as the
+//     "drained" class of TimedMin. All operations are O(h/64) or better.
+//   - TimedMin: Tree plus a zero-class BitSet, implementing argmin over
+//     the *clamped* key max(key[i]-now, 0) that Least-Work-Left-style
+//     comparisons use. Hosts whose clamped key is exactly zero tie, and
+//     the tie breaks to the lowest index — TimedMin keeps those hosts in
+//     the bitmap (where lowest-index is the natural query) and the rest
+//     in the tree (where the lexicographic key gives the same pick as a
+//     scan of the unclamped differences; see the tie-break note in
+//     ARCHITECTURE.md § Host-selection indices).
+//
+// None of the operations allocate once the structure has been Reset to
+// its host count: all state lives in reusable backing arrays, so the
+// per-event index maintenance inside a simulation is allocation-free.
+package hostindex
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Tree is an indexed tournament tree over host ids 0..n-1 ordered by
+// (key, id). A host with key +Inf is effectively absent: it can still win
+// (some id always wins), so callers that use +Inf as "absent" must check
+// the winner's key. The zero value is empty; call Reset before use.
+type Tree struct {
+	n    int       // live host count
+	base int       // leaf offset; power of two >= n
+	key  []float64 // per-leaf keys, len base (padding leaves stay +Inf)
+	win  []int32   // winner ids; node j's winner is win[j], root at 1
+}
+
+// Reset sizes the tree for h hosts and sets every key to +Inf, reusing
+// the backing arrays when they are large enough. Panics if h < 1.
+func (t *Tree) Reset(h int) {
+	if h < 1 {
+		panic(fmt.Sprintf("hostindex: need at least one host, got %d", h))
+	}
+	base := 1
+	for base < h {
+		base <<= 1
+	}
+	t.n = h
+	t.base = base
+	if cap(t.key) < base {
+		t.key = make([]float64, base)
+		t.win = make([]int32, 2*base)
+	}
+	t.key = t.key[:base]
+	t.win = t.win[:2*base]
+	for i := range t.key {
+		t.key[i] = math.Inf(1)
+	}
+	for i := 0; i < base; i++ {
+		t.win[base+i] = int32(i)
+	}
+	// With all keys equal (+Inf) every match is an id tie, so the winner
+	// of any internal node is its leftmost leaf.
+	for j := base - 1; j >= 1; j-- {
+		t.win[j] = t.win[2*j]
+	}
+}
+
+// Len reports the host count the tree was Reset to.
+func (t *Tree) Len() int { return t.n }
+
+// Key reports host i's current key (+Inf when absent).
+func (t *Tree) Key(i int) float64 { return t.key[i] }
+
+// better resolves one match: smaller key wins, lower id among key ties.
+func (t *Tree) better(a, b int32) int32 {
+	ka, kb := t.key[a], t.key[b]
+	//lint:allow floateq exact key tie-break; equal keys fall through to the id for scan parity
+	if ka != kb {
+		if ka < kb {
+			return a
+		}
+		return b
+	}
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Update sets host i's key and replays its matches up the tree. NaN keys
+// panic: they have no total order and would corrupt every match above.
+func (t *Tree) Update(i int, key float64) {
+	if math.IsNaN(key) {
+		panic(fmt.Sprintf("hostindex: NaN key for host %d", i))
+	}
+	t.key[i] = key
+	for j := (t.base + i) >> 1; j >= 1; j >>= 1 {
+		t.win[j] = t.better(t.win[2*j], t.win[2*j+1])
+	}
+}
+
+// Min reports the host with the lexicographically least (key, id) and its
+// key. When every key is +Inf the lowest id wins and the key reports the
+// absence.
+func (t *Tree) Min() (int, float64) {
+	w := t.win[1]
+	return int(w), t.key[w]
+}
+
+// RangeMin reports the argmin over hosts lo <= i < hi and its key.
+// Panics if the range is empty or out of bounds: the caller owns range
+// validity (policies validate their group bounds).
+func (t *Tree) RangeMin(lo, hi int) (int, float64) {
+	if lo < 0 || hi > t.n || lo >= hi {
+		panic(fmt.Sprintf("hostindex: range [%d, %d) invalid for %d hosts", lo, hi, t.n))
+	}
+	best := int32(-1)
+	for l, r := lo+t.base, hi+t.base; l < r; l, r = l>>1, r>>1 {
+		if l&1 == 1 {
+			if best < 0 {
+				best = t.win[l]
+			} else {
+				best = t.better(best, t.win[l])
+			}
+			l++
+		}
+		if r&1 == 1 {
+			r--
+			if best < 0 {
+				best = t.win[r]
+			} else {
+				best = t.better(best, t.win[r])
+			}
+		}
+	}
+	return int(best), t.key[best]
+}
+
+// BitSet is a dense bitmap over host ids with lowest-set-bit queries.
+// The zero value is empty; call Reset before use.
+type BitSet struct {
+	w []uint64
+	n int
+}
+
+// Reset sizes the set for h hosts with every bit clear, reusing the
+// backing array when possible. Panics if h < 1.
+func (s *BitSet) Reset(h int) {
+	if h < 1 {
+		panic(fmt.Sprintf("hostindex: need at least one host, got %d", h))
+	}
+	words := (h + 63) / 64
+	if cap(s.w) < words {
+		s.w = make([]uint64, words)
+	}
+	s.w = s.w[:words]
+	for i := range s.w {
+		s.w[i] = 0
+	}
+	s.n = h
+}
+
+// SetAll sets every host's bit.
+func (s *BitSet) SetAll() {
+	for i := range s.w {
+		s.w[i] = ^uint64(0)
+	}
+	// Clear the padding bits past n so Min never reports a ghost host.
+	if rem := s.n % 64; rem != 0 {
+		s.w[len(s.w)-1] = (uint64(1) << rem) - 1
+	}
+}
+
+// Set marks host i.
+func (s *BitSet) Set(i int) { s.w[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear unmarks host i.
+func (s *BitSet) Clear(i int) { s.w[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports whether host i is marked.
+func (s *BitSet) Get(i int) bool { return s.w[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Min reports the lowest marked host, or -1 when the set is empty.
+func (s *BitSet) Min() int {
+	for wi, w := range s.w {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// MinInRange reports the lowest marked host in [lo, hi), or -1.
+// Panics if the range is empty or out of bounds.
+func (s *BitSet) MinInRange(lo, hi int) int {
+	if lo < 0 || hi > s.n || lo >= hi {
+		panic(fmt.Sprintf("hostindex: range [%d, %d) invalid for %d hosts", lo, hi, s.n))
+	}
+	first, last := lo>>6, (hi-1)>>6
+	for wi := first; wi <= last; wi++ {
+		w := s.w[wi]
+		if wi == first {
+			w &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if wi == last {
+			if rem := uint(hi) & 63; rem != 0 {
+				w &= (uint64(1) << rem) - 1
+			}
+		}
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// TimedMin is an argmin index over the clamped key max(key[i]-now, 0),
+// the comparison a Least-Work-Left scan makes: key[i] is the absolute
+// instant host i drains (true or believed), now is the query instant,
+// and every host at or past its drain instant ties at zero work left.
+//
+// Hosts live in one of two classes: the tree holds hosts with a live
+// drain instant, the zero class holds drained hosts. ArgMin sweeps hosts
+// whose key has fallen to or below now into the zero class (each host is
+// swept at most once per SetKey, so maintenance stays amortized O(log h))
+// and then resolves the scan's pick: the lowest-index zero-class host if
+// any — the clamp ties all of them, and a linear scan keeps the first —
+// otherwise the tree's (key, id) argmin.
+type TimedMin struct {
+	tree Tree
+	zero BitSet
+}
+
+// Reset sizes the index for h hosts, all drained (key 0 at every now >= 0).
+// Panics if h < 1.
+func (m *TimedMin) Reset(h int) {
+	m.tree.Reset(h)
+	m.zero.Reset(h)
+	m.zero.SetAll()
+}
+
+// Len reports the host count.
+func (m *TimedMin) Len() int { return m.tree.Len() }
+
+// SetKey gives host i a live drain instant.
+func (m *TimedMin) SetKey(i int, key float64) {
+	m.zero.Clear(i)
+	m.tree.Update(i, key)
+}
+
+// SetZero moves host i to the drained class.
+func (m *TimedMin) SetZero(i int) {
+	m.tree.Update(i, math.Inf(1))
+	m.zero.Set(i)
+}
+
+// IsZero reports whether host i is currently in the drained class.
+func (m *TimedMin) IsZero(i int) bool { return m.zero.Get(i) }
+
+// Key reports host i's drain instant; only meaningful when !IsZero(i).
+func (m *TimedMin) Key(i int) float64 { return m.tree.Key(i) }
+
+// sweep moves every host whose drain instant has arrived (key <= now)
+// into the zero class, restoring the invariant that tree keys exceed now.
+func (m *TimedMin) sweep(now float64) {
+	for {
+		i, k := m.tree.Min()
+		if !(k <= now) {
+			return
+		}
+		m.SetZero(i)
+	}
+}
+
+// ArgMin reports the host a lowest-index-wins linear scan over the
+// clamped keys would pick at the query instant.
+func (m *TimedMin) ArgMin(now float64) int {
+	m.sweep(now)
+	if z := m.zero.Min(); z >= 0 {
+		return z
+	}
+	i, _ := m.tree.Min()
+	return i
+}
+
+// ArgMinRange is ArgMin restricted to hosts lo <= i < hi.
+// Panics if the range is empty or out of bounds.
+func (m *TimedMin) ArgMinRange(lo, hi int, now float64) int {
+	m.sweep(now)
+	if z := m.zero.MinInRange(lo, hi); z >= 0 {
+		return z
+	}
+	i, _ := m.tree.RangeMin(lo, hi)
+	return i
+}

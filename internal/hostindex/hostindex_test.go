@@ -1,0 +1,332 @@
+package hostindex
+
+import (
+	"math"
+	"testing"
+
+	"sita/internal/sim"
+)
+
+// scanArgMin is the oracle every index must reproduce: a lowest-index-wins
+// linear scan over clamped work-left values.
+func scanArgMin(keys []float64, zero []bool, lo, hi int, now float64) int {
+	best, bestLeft := lo, math.Inf(1)
+	for i := lo; i < hi; i++ {
+		left := 0.0
+		if !zero[i] {
+			left = keys[i] - now
+			if left < 0 {
+				left = 0
+			}
+		}
+		if left < bestLeft {
+			best, bestLeft = i, left
+		}
+	}
+	return best
+}
+
+func TestTreeMatchesScan(t *testing.T) {
+	rng := sim.NewRNG(1, 0)
+	for _, h := range []int{1, 2, 3, 5, 8, 17, 64, 100, 257} {
+		var tree Tree
+		tree.Reset(h)
+		keys := make([]float64, h)
+		for i := range keys {
+			keys[i] = math.Inf(1)
+		}
+		for step := 0; step < 2000; step++ {
+			i := rng.IntN(h)
+			// Coarse keys force frequent exact ties.
+			k := float64(rng.IntN(8))
+			tree.Update(i, k)
+			keys[i] = k
+			// Oracle: lexicographic (key, id) minimum.
+			best := 0
+			for j := 1; j < h; j++ {
+				//lint:allow floateq exact tie-break oracle mirrors the tree's comparator
+				if keys[j] < keys[best] {
+					best = j
+				}
+			}
+			got, gotKey := tree.Min()
+			if got != best || gotKey != keys[best] {
+				t.Fatalf("h=%d step=%d: Min()=(%d,%v), scan=(%d,%v)", h, step, got, gotKey, best, keys[best])
+			}
+			if h > 1 {
+				lo := rng.IntN(h - 1)
+				hi := lo + 1 + rng.IntN(h-lo-1) + 1
+				if hi > h {
+					hi = h
+				}
+				rbest := lo
+				for j := lo + 1; j < hi; j++ {
+					//lint:allow floateq exact tie-break oracle mirrors the tree's comparator
+					if keys[j] < keys[rbest] {
+						rbest = j
+					}
+				}
+				rgot, rkey := tree.RangeMin(lo, hi)
+				if rgot != rbest || rkey != keys[rbest] {
+					t.Fatalf("h=%d step=%d: RangeMin(%d,%d)=(%d,%v), scan=(%d,%v)",
+						h, step, lo, hi, rgot, rkey, rbest, keys[rbest])
+				}
+			}
+		}
+	}
+}
+
+func TestTreeAllInfPicksLowestID(t *testing.T) {
+	var tree Tree
+	tree.Reset(5)
+	if i, k := tree.Min(); i != 0 || !math.IsInf(k, 1) {
+		t.Fatalf("all-absent Min = (%d, %v), want (0, +Inf)", i, k)
+	}
+	tree.Update(3, math.Inf(1)) // explicit +Inf behaves like Reset state
+	if i, _ := tree.RangeMin(2, 5); i != 2 {
+		t.Fatalf("all-absent RangeMin(2,5) = %d, want 2", i)
+	}
+}
+
+func TestTreeNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on NaN key")
+		}
+	}()
+	var tree Tree
+	tree.Reset(2)
+	tree.Update(0, math.NaN())
+}
+
+func TestBitSetMinQueries(t *testing.T) {
+	rng := sim.NewRNG(2, 0)
+	for _, h := range []int{1, 3, 63, 64, 65, 128, 200, 1024} {
+		var s BitSet
+		s.Reset(h)
+		marked := make([]bool, h)
+		if s.Min() != -1 {
+			t.Fatalf("h=%d: fresh set not empty", h)
+		}
+		for step := 0; step < 1500; step++ {
+			i := rng.IntN(h)
+			if rng.IntN(2) == 0 {
+				s.Set(i)
+				marked[i] = true
+			} else {
+				s.Clear(i)
+				marked[i] = false
+			}
+			want := -1
+			for j := range marked {
+				if marked[j] {
+					want = j
+					break
+				}
+			}
+			if got := s.Min(); got != want {
+				t.Fatalf("h=%d step=%d: Min=%d, want %d", h, step, got, want)
+			}
+			lo := rng.IntN(h)
+			hi := lo + 1 + rng.IntN(h-lo)
+			want = -1
+			for j := lo; j < hi; j++ {
+				if marked[j] {
+					want = j
+					break
+				}
+			}
+			if got := s.MinInRange(lo, hi); got != want {
+				t.Fatalf("h=%d step=%d: MinInRange(%d,%d)=%d, want %d", h, step, lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func TestBitSetSetAllClearsPadding(t *testing.T) {
+	for _, h := range []int{1, 5, 63, 64, 65, 130} {
+		var s BitSet
+		s.Reset(h)
+		s.SetAll()
+		for i := 0; i < h; i++ {
+			if !s.Get(i) {
+				t.Fatalf("h=%d: bit %d not set after SetAll", h, i)
+			}
+		}
+		if got := s.Min(); got != 0 {
+			t.Fatalf("h=%d: Min after SetAll = %d", h, got)
+		}
+		for i := 0; i < h; i++ {
+			s.Clear(i)
+		}
+		if got := s.Min(); got != -1 {
+			t.Fatalf("h=%d: ghost bit beyond n after SetAll: Min=%d", h, got)
+		}
+	}
+}
+
+// TestTimedMinMatchesScan drives a TimedMin and the clamped-scan oracle
+// through a randomized schedule of drains, re-keys, and argmin queries at
+// a monotonically advancing clock — the access pattern of a simulation.
+func TestTimedMinMatchesScan(t *testing.T) {
+	rng := sim.NewRNG(3, 0)
+	for _, h := range []int{1, 2, 4, 7, 33, 100, 513} {
+		var m TimedMin
+		m.Reset(h)
+		keys := make([]float64, h)
+		zero := make([]bool, h)
+		for i := range zero {
+			zero[i] = true
+		}
+		now := 0.0
+		for step := 0; step < 3000; step++ {
+			now += float64(rng.IntN(3)) // integer steps force exact key==now ties
+			switch rng.IntN(3) {
+			case 0: // host gains work with a drain instant at or after now
+				i := rng.IntN(h)
+				k := now + float64(rng.IntN(5))
+				m.SetKey(i, k)
+				keys[i], zero[i] = k, false
+			case 1: // host drains explicitly (the depart-to-idle event)
+				i := rng.IntN(h)
+				m.SetZero(i)
+				zero[i] = true
+			case 2: // argmin queries, global and ranged
+				want := scanArgMin(keys, zero, 0, h, now)
+				if got := m.ArgMin(now); got != want {
+					t.Fatalf("h=%d step=%d now=%v: ArgMin=%d, want %d (keys=%v zero=%v)",
+						h, step, now, got, want, keys, zero)
+				}
+				if h > 1 {
+					lo := rng.IntN(h - 1)
+					hi := lo + 2 + rng.IntN(h-lo-1)
+					if hi > h {
+						hi = h
+					}
+					want = scanArgMin(keys, zero, lo, hi, now)
+					if got := m.ArgMinRange(lo, hi, now); got != want {
+						t.Fatalf("h=%d step=%d now=%v: ArgMinRange(%d,%d)=%d, want %d",
+							h, step, now, lo, hi, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTimedMinSweepReclassifies pins the subtle tie case: a host whose
+// drain instant equals the query instant ties with explicitly drained
+// hosts, and the lowest index — whichever class it is in — must win.
+func TestTimedMinSweepReclassifies(t *testing.T) {
+	var m TimedMin
+	m.Reset(4)
+	m.SetKey(1, 5) // drains exactly at the query instant
+	m.SetKey(2, 9)
+	m.SetZero(3) // long drained
+	m.SetKey(0, 7)
+	// At now=5: host 1 (key==now) and host 3 (zero) tie at 0; lowest wins.
+	if got := m.ArgMin(5); got != 1 {
+		t.Fatalf("ArgMin(5) = %d, want 1 (key==now ties with the drained class)", got)
+	}
+	if !m.IsZero(1) {
+		t.Fatal("host 1 not swept into the drained class")
+	}
+	// Re-keying pulls it back out.
+	m.SetKey(1, 12)
+	if got := m.ArgMin(5); got != 3 {
+		t.Fatalf("ArgMin(5) after re-key = %d, want 3", got)
+	}
+	// Range query excluding the drained host falls back to the tree.
+	if got := m.ArgMinRange(0, 2, 5); got != 0 {
+		t.Fatalf("ArgMinRange(0,2,5) = %d, want 0", got)
+	}
+}
+
+func TestResetReusesWithoutGhostState(t *testing.T) {
+	var m TimedMin
+	m.Reset(64)
+	for i := 0; i < 64; i++ {
+		m.SetKey(i, float64(100+i))
+	}
+	// Shrink: stale keys and bits from the larger run must be invisible.
+	m.Reset(3)
+	if got := m.ArgMin(0); got != 0 {
+		t.Fatalf("after shrink ArgMin = %d, want 0", got)
+	}
+	m.SetKey(0, 50)
+	m.SetKey(1, 40)
+	m.SetKey(2, 60)
+	if got := m.ArgMin(0); got != 1 {
+		t.Fatalf("after shrink+rekey ArgMin = %d, want 1", got)
+	}
+	// Grow again past the original size.
+	m.Reset(100)
+	if got := m.ArgMin(0); got != 0 {
+		t.Fatalf("after regrow ArgMin = %d, want 0", got)
+	}
+}
+
+// TestSteadyStateOperationsDoNotAllocate is the package's allocation
+// contract: once Reset, every index operation is allocation-free.
+func TestSteadyStateOperationsDoNotAllocate(t *testing.T) {
+	var m TimedMin
+	m.Reset(1024)
+	var jobs Tree
+	jobs.Reset(1024)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.SetKey(i%1024, float64(i%97)+1e6)
+		m.SetZero((i + 511) % 1024)
+		_ = m.ArgMin(float64(i % 13))
+		_ = m.ArgMinRange(100, 900, float64(i%13))
+		jobs.Update(i%1024, float64(i%7))
+		_, _ = jobs.Min()
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state index operations allocate %v/op, want 0", allocs)
+	}
+}
+
+func BenchmarkTreeUpdate(b *testing.B) {
+	for _, h := range []int{16, 128, 1024} {
+		b.Run(sizeLabel(h), func(b *testing.B) {
+			var tr Tree
+			tr.Reset(h)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Update(i%h, float64(i&1023))
+			}
+		})
+	}
+}
+
+func BenchmarkTimedMinArgMin(b *testing.B) {
+	for _, h := range []int{16, 128, 1024} {
+		b.Run(sizeLabel(h), func(b *testing.B) {
+			var m TimedMin
+			m.Reset(h)
+			for i := 0; i < h; i++ {
+				m.SetKey(i, float64(i+1))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				host := m.ArgMin(0)
+				m.SetKey(host, float64(i%h)+1)
+			}
+		})
+	}
+}
+
+func sizeLabel(h int) string {
+	switch h {
+	case 16:
+		return "h=16"
+	case 128:
+		return "h=128"
+	default:
+		return "h=1024"
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"sita/internal/hostindex"
 	"sita/internal/server"
 	"sita/internal/workload"
 )
@@ -25,8 +26,13 @@ import (
 type EstimatedLWL struct {
 	sigma float64
 	rng   *rand.Rand
-	// estReadyAt[h] is the dispatcher's belief of when host h drains.
-	estReadyAt []float64
+	// believed indexes the dispatcher's belief of when each host drains:
+	// an incremental argmin over max(believedReadyAt - now, 0), replacing
+	// the former O(h) scan over an estReadyAt slice with the same
+	// lowest-index-wins pick (ScanEstimatedLWL keeps that scan as the
+	// differential oracle).
+	believed hostindex.TimedMin
+	inited   bool
 }
 
 // NewEstimatedLWL builds the policy; sigma = 0 reproduces exact LWL
@@ -53,26 +59,25 @@ func (p *EstimatedLWL) Estimate(size float64) float64 {
 }
 
 // Assign sends the job to the host with the smallest *believed* backlog
-// and credits the job's estimate to that belief.
+// and credits the job's estimate to that belief. The believed-backlog
+// argmin is the same incremental index the server's true-backlog queries
+// use, so selection is O(log h); the credited value is computed exactly as
+// the old scan did — the belief floors at now before the estimate is added
+// — so the belief trajectory, and with it the assignment stream and the
+// rng draw order, stay bit-identical.
 func (p *EstimatedLWL) Assign(j workload.Job, v server.View) int {
-	if p.estReadyAt == nil {
-		p.estReadyAt = make([]float64, v.Hosts())
+	if !p.inited {
+		p.believed.Reset(v.Hosts())
+		p.inited = true
 	}
 	now := j.Arrival
-	best, bestLeft := 0, math.Inf(1)
-	for i := range p.estReadyAt {
-		left := p.estReadyAt[i] - now
-		if left < 0 {
-			left = 0
-		}
-		if left < bestLeft {
-			best, bestLeft = i, left
-		}
+	best := p.believed.ArgMin(now)
+	base := now
+	if !p.believed.IsZero(best) {
+		// Believed drain instant is still ahead of now; credit on top of it.
+		base = p.believed.Key(best)
 	}
-	if p.estReadyAt[best] < now {
-		p.estReadyAt[best] = now
-	}
-	p.estReadyAt[best] += p.Estimate(j.Size)
+	p.believed.SetKey(best, base+p.Estimate(j.Size))
 	return best
 }
 

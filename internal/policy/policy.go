@@ -74,15 +74,11 @@ func NewShortestQueue() ShortestQueue { return ShortestQueue{} }
 // Name identifies the policy in reports.
 func (ShortestQueue) Name() string { return "Shortest-Queue" }
 
-// Assign picks the host with the fewest jobs.
+// Assign picks the host with the fewest jobs via the view's incremental
+// jobs index — O(log h) instead of an O(h) scan, same pick (the index
+// breaks exact ties to the lowest host, as the scan did).
 func (ShortestQueue) Assign(_ workload.Job, v server.View) int {
-	best, bestN := 0, v.NumJobs(0)
-	for i := 1; i < v.Hosts(); i++ {
-		if n := v.NumJobs(i); n < bestN {
-			best, bestN = i, n
-		}
-	}
-	return best
+	return v.MinJobsHost()
 }
 
 // LeastWorkLeft sends each job to the host with the least unfinished work —
@@ -97,15 +93,11 @@ func NewLeastWorkLeft() LeastWorkLeft { return LeastWorkLeft{} }
 // Name identifies the policy in reports.
 func (LeastWorkLeft) Name() string { return "Least-Work-Left" }
 
-// Assign picks the host with minimal backlog.
+// Assign picks the host with minimal backlog via the view's incremental
+// work index — O(log h) instead of an O(h) scan, same pick including the
+// lowest-index tie-break among drained hosts.
 func (LeastWorkLeft) Assign(_ workload.Job, v server.View) int {
-	best, bestW := 0, v.WorkLeft(0)
-	for i := 1; i < v.Hosts(); i++ {
-		if w := v.WorkLeft(i); w < bestW {
-			best, bestW = i, w
-		}
-	}
-	return best
+	return v.MinWorkHost()
 }
 
 // CentralQueue holds every job in a FCFS queue at the dispatcher; a host
@@ -121,12 +113,11 @@ func NewCentralQueue() CentralQueue { return CentralQueue{} }
 func (CentralQueue) Name() string { return "Central-Queue" }
 
 // Assign sends the job to an idle host when one exists, otherwise holds it
-// centrally.
+// centrally. The view's idle freelist answers in O(1) amortized; the old
+// O(h) scan picked the same lowest-indexed idle host.
 func (CentralQueue) Assign(_ workload.Job, v server.View) int {
-	for i := 0; i < v.Hosts(); i++ {
-		if v.Idle(i) {
-			return i
-		}
+	if i := v.NextIdleHost(); i >= 0 {
+		return i
 	}
 	return server.Central
 }
@@ -205,13 +196,7 @@ func (p *GroupedSITA) Assign(j workload.Job, v server.View) int {
 		//lint:allow panicpolicy invariant: NewGroupedSITA validates shortHosts, so an empty group means the view shrank mid-run
 		panic(fmt.Sprintf("policy: grouped SITA group [%d, %d) empty with %d hosts", lo, hi, v.Hosts()))
 	}
-	best, bestW := lo, v.WorkLeft(lo)
-	for i := lo + 1; i < hi; i++ {
-		if w := v.WorkLeft(i); w < bestW {
-			best, bestW = i, w
-		}
-	}
-	return best
+	return v.MinWorkHostIn(lo, hi)
 }
 
 // Misclassify wraps a size-based policy to model imperfect user runtime

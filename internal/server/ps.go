@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"sita/internal/hostindex"
 	"sita/internal/sim"
 	"sita/internal/stats"
 	"sita/internal/workload"
@@ -129,6 +130,13 @@ type PSSystem struct {
 	feed     []workload.Job
 	feedNext int
 	feedBase uint64
+
+	// Host-selection indices (see System): the idle freelist is always
+	// maintained, the jobs argmin activates on the first MinJobsHost query.
+	// There is no incremental work index here — see MinWorkHost.
+	idle    hostindex.BitSet
+	jobsIdx hostindex.Tree
+	jobsOn  bool
 }
 
 // NewPS builds a PS distributed server.
@@ -149,6 +157,8 @@ func newPSOn(eng *sim.Engine, h int, p Policy, onComplete func(JobRecord)) *PSSy
 	for i := 0; i < h; i++ {
 		s.hosts = append(s.hosts, &psHost{index: i, engine: eng, onDone: onComplete})
 	}
+	s.idle.Reset(h)
+	s.idle.SetAll()
 	eng.SetHandler(s)
 	return s
 }
@@ -172,6 +182,67 @@ func (s *PSSystem) WorkLeft(i int) float64 {
 
 // Idle reports whether host i has no jobs.
 func (s *PSSystem) Idle(i int) bool { return len(s.hosts[i].jobs) == 0 }
+
+// NextIdleHost reports the lowest-indexed empty host, or -1.
+func (s *PSSystem) NextIdleHost() int { return s.idle.Min() }
+
+// MinWorkHost reports the host a lowest-index-wins scan of WorkLeft would
+// pick.
+//
+// Unlike the FCFS System, the PS path answers this by an exact linear scan:
+// a PS host's work left is a floating-point sum over resident jobs whose
+// value depends on the whole advance() subdivision history, so an
+// incrementally maintained drain-instant key could differ from the
+// recomputed sum by an ulp and flip an exact tie. PS experiments run at
+// small h (the fairness reference line), so the O(h) scan is not a hot
+// path; the indexed fast path covers the FCFS many-hosts sweeps.
+func (s *PSSystem) MinWorkHost() int { return s.minWorkIn(0, len(s.hosts)) }
+
+// MinWorkHostIn is MinWorkHost over hosts lo <= i < hi.
+// Panics if the range is empty or out of bounds.
+func (s *PSSystem) MinWorkHostIn(lo, hi int) int {
+	if lo < 0 || hi > len(s.hosts) || lo >= hi {
+		panic(fmt.Sprintf("server: range [%d, %d) invalid for %d hosts", lo, hi, len(s.hosts)))
+	}
+	return s.minWorkIn(lo, hi)
+}
+
+func (s *PSSystem) minWorkIn(lo, hi int) int {
+	best, bestW := lo, s.WorkLeft(lo)
+	for i := lo + 1; i < hi; i++ {
+		if w := s.WorkLeft(i); w < bestW {
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
+// MinJobsHost reports the host with the fewest resident jobs, ties to the
+// lowest index, from a lazily built incremental index.
+func (s *PSSystem) MinJobsHost() int {
+	if !s.jobsOn {
+		s.jobsIdx.Reset(len(s.hosts))
+		for i := range s.hosts {
+			s.jobsIdx.Update(i, float64(len(s.hosts[i].jobs)))
+		}
+		s.jobsOn = true
+	}
+	i, _ := s.jobsIdx.Min()
+	return i
+}
+
+// noteJobs refreshes host i's standing in the idle freelist and (when
+// active) the jobs argmin; call after any change to its resident set.
+func (s *PSSystem) noteJobs(i int) {
+	if len(s.hosts[i].jobs) == 0 {
+		s.idle.Set(i)
+	} else {
+		s.idle.Clear(i)
+	}
+	if s.jobsOn {
+		s.jobsIdx.Update(i, float64(len(s.hosts[i].jobs)))
+	}
+}
 
 // Simulate runs the jobs (sorted by arrival) to completion, feeding
 // arrivals lazily exactly like System.Simulate.
@@ -215,8 +286,10 @@ func (s *PSSystem) HandleEvent(now float64, ev sim.Ev) {
 				s.policy.Name(), idx, len(s.hosts)))
 		}
 		s.hosts[idx].add(ev.Job, now)
+		s.noteJobs(idx)
 	case evPSComplete:
 		s.hosts[ev.Host].complete(now)
+		s.noteJobs(int(ev.Host))
 	}
 }
 

@@ -9,6 +9,7 @@ package server
 import (
 	"fmt"
 
+	"sita/internal/hostindex"
 	"sita/internal/sim"
 	"sita/internal/workload"
 )
@@ -43,6 +44,15 @@ const (
 
 // View is the system state a policy may consult when assigning a job. All
 // queries refer to the instant of the arrival being dispatched.
+//
+// The per-host queries (NumJobs, WorkLeft, Idle) cost O(1) each, so a
+// policy scanning all hosts pays O(h) per arrival. The argmin queries
+// (MinWorkHost, MinWorkHostIn, MinJobsHost, NextIdleHost) answer the
+// scans the standard policies actually perform from incrementally
+// maintained indices in O(log h) or better, and are guaranteed to return
+// exactly the host a lowest-index-wins linear scan would: strictly
+// smallest value first, lowest host index among exact ties (see
+// ARCHITECTURE.md § Host-selection indices for the tie-break argument).
 type View interface {
 	// Hosts reports the number of hosts.
 	Hosts() int
@@ -53,6 +63,19 @@ type View interface {
 	WorkLeft(i int) float64
 	// Idle reports whether host i has no work at all.
 	Idle(i int) bool
+	// MinWorkHost reports the host a lowest-index-wins scan of WorkLeft
+	// over all hosts would pick.
+	MinWorkHost() int
+	// MinWorkHostIn is MinWorkHost restricted to hosts lo <= i < hi (the
+	// grouped-SITA within-group dispatch). Panics if the range is empty
+	// or out of bounds: group bounds are the policy's contract.
+	MinWorkHostIn(lo, hi int) int
+	// MinJobsHost reports the host a lowest-index-wins scan of NumJobs
+	// would pick.
+	MinJobsHost() int
+	// NextIdleHost reports the lowest-indexed host with no work at all,
+	// or -1 when every host is busy.
+	NextIdleHost() int
 }
 
 // Policy is a task assignment rule. Assign returns a host index in
@@ -233,6 +256,18 @@ type System struct {
 	queueArea   float64
 	waitingJobs int
 	lastAccrual float64
+
+	// Host-selection indices. The idle freelist is always maintained (two
+	// bit operations per job); the work and jobs argmin indices activate
+	// on a policy's first MinWorkHost/MinJobsHost query, so policies that
+	// never ask pay nothing beyond the bitset. Once active they are
+	// updated incrementally — O(log h) per host state change, no
+	// allocations — by the arrive/depart/startNextCentral transitions.
+	idle    hostindex.BitSet   // hosts with no jobs at all
+	work    hostindex.TimedMin // hosts keyed by readyAt; drained class = idle
+	jobsIdx hostindex.Tree     // hosts keyed by their job count
+	workOn  bool
+	jobsOn  bool
 }
 
 // New builds a distributed server with h hosts and the given policy, using
@@ -262,6 +297,8 @@ func newSystemOn(eng *sim.Engine, h int, p Policy, order CentralOrder, onComplet
 		central:    centralQueue{order: order},
 		onComplete: onComplete,
 	}
+	s.idle.Reset(h)
+	s.idle.SetAll()
 	eng.SetHandler(s)
 	return s
 }
@@ -285,6 +322,55 @@ func (s *System) WorkLeft(i int) float64 {
 
 // Idle reports whether host i is empty.
 func (s *System) Idle(i int) bool { return s.hosts[i].jobs == 0 }
+
+// NextIdleHost reports the lowest-indexed empty host, or -1.
+func (s *System) NextIdleHost() int { return s.idle.Min() }
+
+// MinWorkHost reports the host with the least unfinished work, ties to
+// the lowest index — the pick of a linear WorkLeft scan, in O(log h).
+func (s *System) MinWorkHost() int {
+	if !s.workOn {
+		s.buildWorkIndex()
+	}
+	return s.work.ArgMin(s.engine.Now())
+}
+
+// MinWorkHostIn is MinWorkHost over hosts lo <= i < hi.
+// Panics if the range is empty or out of bounds.
+func (s *System) MinWorkHostIn(lo, hi int) int {
+	if !s.workOn {
+		s.buildWorkIndex()
+	}
+	return s.work.ArgMinRange(lo, hi, s.engine.Now())
+}
+
+// MinJobsHost reports the host with the fewest jobs, ties to the lowest
+// index — the pick of a linear NumJobs scan, in O(log h).
+func (s *System) MinJobsHost() int {
+	if !s.jobsOn {
+		s.jobsIdx.Reset(len(s.hosts))
+		for i := range s.hosts {
+			s.jobsIdx.Update(i, float64(s.hosts[i].jobs))
+		}
+		s.jobsOn = true
+	}
+	i, _ := s.jobsIdx.Min()
+	return i
+}
+
+// buildWorkIndex activates the work argmin on a policy's first query:
+// hosts with work enter the tree keyed by their drain instant (readyAt),
+// empty hosts form the drained class. From here on every host state
+// change keeps the index current.
+func (s *System) buildWorkIndex() {
+	s.work.Reset(len(s.hosts))
+	for i := range s.hosts {
+		if s.hosts[i].jobs > 0 {
+			s.work.SetKey(i, s.hosts[i].readyAt)
+		}
+	}
+	s.workOn = true
+}
 
 // Simulate runs the full job list through the system and waits for every
 // job to finish. Jobs must be sorted by arrival time; Simulate panics if
@@ -345,14 +431,18 @@ func (s *System) arrive(job workload.Job, now float64) {
 	if idx == Central {
 		// Hold at the dispatcher; a host will pull it when free. If some
 		// host is already idle the policy should have returned it, but be
-		// robust and drain immediately.
+		// robust and drain immediately — the freelist hands out idle hosts
+		// lowest-index-first, exactly the order the old full scan used, in
+		// O(1) per started job instead of O(h) per arrival.
 		s.accrueQueue(now)
 		s.waitingJobs++
 		s.central.Push(job)
-		for i := range s.hosts {
-			if s.hosts[i].jobs == 0 && s.central.Len() > 0 {
-				s.startNextCentral(i, now)
+		for s.central.Len() > 0 {
+			i := s.idle.Min()
+			if i < 0 {
+				break
 			}
+			s.startNextCentral(i, now)
 		}
 		return
 	}
@@ -361,6 +451,7 @@ func (s *System) arrive(job workload.Job, now float64) {
 	}
 	h := &s.hosts[idx]
 	h.jobs++
+	s.noteJobs(idx)
 	if h.running {
 		// The job's work joins the backlog now; start() must not add it
 		// again when the job is later dequeued.
@@ -368,9 +459,12 @@ func (s *System) arrive(job workload.Job, now float64) {
 		s.waitingJobs++
 		h.enqueue(job)
 		h.readyAt += job.Size
+		s.noteWork(idx)
 		return
 	}
+	s.idle.Clear(idx)
 	h.readyAt = now + job.Size
+	s.noteWork(idx)
 	s.start(idx, job, now)
 }
 
@@ -389,10 +483,13 @@ func (s *System) depart(idx int, rec JobRecord, now float64) {
 	h.running = false
 	h.jobs--
 	h.workDone += rec.Size
+	s.noteJobs(idx)
 	if s.onComplete != nil {
 		s.onComplete(rec)
 	}
 	if h.queued() > 0 {
+		// readyAt already accounts for the queued work; the work index
+		// needs no update.
 		next := h.dequeue()
 		s.accrueQueue(now)
 		s.waitingJobs--
@@ -401,6 +498,11 @@ func (s *System) depart(idx int, rec JobRecord, now float64) {
 	}
 	if s.central.Len() > 0 {
 		s.startNextCentral(idx, now)
+		return
+	}
+	s.idle.Set(idx)
+	if s.workOn {
+		s.work.SetZero(idx)
 	}
 }
 
@@ -408,10 +510,28 @@ func (s *System) startNextCentral(idx int, now float64) {
 	job := s.central.Pop()
 	s.accrueQueue(now)
 	s.waitingJobs--
+	s.idle.Clear(idx)
 	h := &s.hosts[idx]
 	h.jobs++
 	h.readyAt = now + job.Size
+	s.noteJobs(idx)
+	s.noteWork(idx)
 	s.start(idx, job, now)
+}
+
+// noteJobs propagates host i's job count into the jobs argmin, when active.
+func (s *System) noteJobs(i int) {
+	if s.jobsOn {
+		s.jobsIdx.Update(i, float64(s.hosts[i].jobs))
+	}
+}
+
+// noteWork propagates host i's drain instant into the work argmin, when
+// active. Only call when host i has live work (jobs > 0).
+func (s *System) noteWork(i int) {
+	if s.workOn {
+		s.work.SetKey(i, s.hosts[i].readyAt)
+	}
 }
 
 // accrueQueue advances the waiting-jobs time integral to the current

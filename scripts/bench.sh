@@ -27,6 +27,11 @@ count="${BENCH_COUNT:-5}"
     -benchmem -benchtime 1x -count "$count" .
   # Raw simulator throughput per policy (jobs/s through the event kernel).
   go test -run '^$' -bench 'BenchmarkSimulatorThroughput' -benchmem -count "$count" .
+  # Indexed vs linear-scan host selection at h = 16 / 128 / 1024
+  # (<policy> vs <policy>-scan is the O(log h) fast path's speedup).
+  go test -run '^$' -bench 'BenchmarkManyHosts' -benchmem -benchtime 1x -count "$count" .
   # Kernel micro-benchmarks: event scheduling, typed events, cancel, reuse.
   go test -run '^$' -bench . -benchmem -count "$count" ./internal/sim/
+  # Host-selection index micro-benchmarks (must stay 0 allocs/op).
+  go test -run '^$' -bench . -benchmem -count "$count" ./internal/hostindex/
 } | tee "$out"
