@@ -17,6 +17,7 @@ import (
 	"text/tabwriter"
 
 	"sita"
+	"sita/internal/catalog"
 	"sita/internal/core"
 	"sita/internal/dist"
 )
@@ -32,6 +33,21 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
+
+	if *in == "" {
+		if err := catalog.CheckProfile(*profile); err != nil {
+			fatal(fmt.Errorf("-profile: %w", err))
+		}
+	}
+	if err := catalog.CheckHosts(*hosts); err != nil {
+		fatal(fmt.Errorf("-hosts: %w", err))
+	}
+	if err := catalog.CheckLoad(*load); err != nil {
+		fatal(fmt.Errorf("-load: %w", err))
+	}
+	if err := catalog.CheckJobs(*jobs); err != nil {
+		fatal(fmt.Errorf("-jobs: %w", err))
+	}
 
 	var wl *sita.Workload
 	var err error

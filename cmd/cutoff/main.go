@@ -17,6 +17,7 @@ import (
 	"text/tabwriter"
 
 	"sita"
+	"sita/internal/catalog"
 	"sita/internal/core"
 	"sita/internal/queueing"
 )
@@ -30,6 +31,18 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
+
+	if *in == "" {
+		if err := catalog.CheckProfile(*profile); err != nil {
+			fatal(fmt.Errorf("-profile: %w", err))
+		}
+	}
+	if err := catalog.CheckLoad(*load); err != nil {
+		fatal(fmt.Errorf("-load: %w", err))
+	}
+	if err := catalog.CheckHosts(*hosts); err != nil {
+		fatal(fmt.Errorf("-hosts: %w", err))
+	}
 
 	var wl *sita.Workload
 	var err error

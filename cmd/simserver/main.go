@@ -17,16 +17,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 	"text/tabwriter"
 
 	"sita"
-	"sita/internal/core"
+	"sita/internal/catalog"
 	"sita/internal/policy"
 	"sita/internal/profiling"
 	"sita/internal/runner"
 	"sita/internal/server"
-	"sita/internal/sim"
 )
 
 func main() {
@@ -45,6 +43,30 @@ func main() {
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on successful exit")
 	)
 	flag.Parse()
+
+	if *policyName != "all" {
+		if err := catalog.CheckPolicy(*policyName); err != nil {
+			fatal(fmt.Errorf("-policy: %w", err))
+		}
+	}
+	if err := catalog.CheckHosts(*hosts); err != nil {
+		fatal(fmt.Errorf("-hosts: %w", err))
+	}
+	if err := catalog.CheckLoad(*load); err != nil {
+		fatal(fmt.Errorf("-load: %w", err))
+	}
+	if err := catalog.CheckProfile(*profile); err != nil {
+		fatal(fmt.Errorf("-profile: %w", err))
+	}
+	if err := catalog.CheckJobs(*jobs); err != nil {
+		fatal(fmt.Errorf("-jobs: %w", err))
+	}
+	if err := catalog.CheckWarmup(*warmup); err != nil {
+		fatal(fmt.Errorf("-warmup: %w", err))
+	}
+	if err := catalog.CheckWorkers(*workers); err != nil {
+		fatal(fmt.Errorf("-workers: %w", err))
+	}
 
 	stopCPU, err := profiling.StartCPU(*cpuProf)
 	if err != nil {
@@ -68,15 +90,14 @@ func main() {
 
 	names := []string{*policyName}
 	if *policyName == "all" {
-		names = []string{"random", "round-robin", "shortest-queue", "lwl",
-			"central-queue", "sita-e", "sita-u-opt", "sita-u-fair", "sita-u-rule"}
+		names = catalog.PolicyNames()
 	}
 
 	// Each policy's simulation is an independent cell: policies are built
 	// inside the cell, jobList is shared read-only, and rows come back in
 	// name order, so the report does not depend on scheduling.
 	rows, err := runner.Map(*workers, names, func(_ int, name string) (string, error) {
-		p, design, err := buildPolicy(name, *load, wl, *hosts, *seed)
+		p, design, err := catalog.Build(name, *load, wl, *hosts, *seed)
 		if err != nil {
 			return "", err
 		}
@@ -114,7 +135,7 @@ func main() {
 	fmt.Printf("\nworkload: %s, %d jobs, system load %.2f, %d hosts, %s arrivals\n",
 		wl.Profile.Name, len(jobList), *load, *hosts, arrivalKind(*bursty))
 	if len(names) == 1 {
-		p, _, err := buildPolicy(names[0], *load, wl, *hosts, *seed)
+		p, _, err := catalog.Build(names[0], *load, wl, *hosts, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -133,40 +154,6 @@ func arrivalKind(bursty bool) string {
 		return "scaled-trace (bursty)"
 	}
 	return "Poisson"
-}
-
-func buildPolicy(name string, load float64, wl *sita.Workload, hosts int, seed uint64) (sita.Policy, *sita.Design, error) {
-	switch strings.ToLower(name) {
-	case "random":
-		return policy.NewRandom(sim.NewRNG(seed, 100)), nil, nil
-	case "round-robin", "rr":
-		return policy.NewRoundRobin(), nil, nil
-	case "shortest-queue", "sq":
-		return policy.NewShortestQueue(), nil, nil
-	case "lwl", "least-work-left":
-		return policy.NewLeastWorkLeft(), nil, nil
-	case "central-queue", "cq":
-		return policy.NewCentralQueue(), nil, nil
-	case "sita-e", "sita-u-opt", "sita-u-fair", "sita-u-rule":
-		var v sita.Variant
-		switch strings.ToLower(name) {
-		case "sita-e":
-			v = core.SITAE
-		case "sita-u-opt":
-			v = core.SITAUOpt
-		case "sita-u-fair":
-			v = core.SITAUFair
-		default:
-			v = core.SITARule
-		}
-		d, err := sita.NewDesign(v, load, wl.Size, hosts)
-		if err != nil {
-			return nil, nil, err
-		}
-		return d.Policy(), d, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown policy %q", name)
-	}
 }
 
 func fatal(err error) {

@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"sita/internal/catalog"
 	"sita/internal/experiment"
 	"sita/internal/profiling"
 	"sita/internal/runner"
@@ -53,6 +54,22 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on successful exit")
 	)
 	flag.Parse()
+
+	if err := catalog.CheckProfile(*profile); err != nil {
+		fatal(fmt.Errorf("-profile: %w", err))
+	}
+	if err := catalog.CheckJobs(*jobs); err != nil {
+		fatal(fmt.Errorf("-jobs: %w", err))
+	}
+	if err := catalog.CheckWarmup(*warmup); err != nil {
+		fatal(fmt.Errorf("-warmup: %w", err))
+	}
+	if err := catalog.CheckWorkers(*workers); err != nil {
+		fatal(fmt.Errorf("-workers: %w", err))
+	}
+	if *reps < 1 {
+		fatal(fmt.Errorf("-rep must be >= 1, got %d", *reps))
+	}
 
 	stopCPU, err := profiling.StartCPU(*cpuProf)
 	if err != nil {
@@ -89,6 +106,9 @@ func main() {
 			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 			if err != nil {
 				fatal(fmt.Errorf("bad load %q: %w", s, err))
+			}
+			if err := catalog.CheckLoad(v); err != nil {
+				fatal(fmt.Errorf("-loads: %w", err))
 			}
 			cfg.Loads = append(cfg.Loads, v)
 		}

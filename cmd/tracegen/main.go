@@ -15,6 +15,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"sita/internal/catalog"
 	"sita/internal/trace"
 )
 
@@ -28,6 +29,15 @@ func main() {
 		stats   = flag.Bool("stats", false, "print the Table-1 characterization row")
 	)
 	flag.Parse()
+
+	if *in == "" {
+		if err := catalog.CheckProfile(*profile); err != nil {
+			fatal(fmt.Errorf("-profile: %w", err))
+		}
+	}
+	if err := catalog.CheckJobs(*jobs); err != nil {
+		fatal(fmt.Errorf("-jobs: %w", err))
+	}
 
 	var tr *trace.Trace
 	switch {

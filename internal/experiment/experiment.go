@@ -7,6 +7,13 @@
 //
 // Each driver returns Tables: named series over a shared x axis, rendered
 // as aligned text or CSV by the caller (cmd/sweep).
+//
+// Drivers are deterministic: cell seeds derive from cell coordinates
+// (runner.CellSeed) before fan-out, so a driver's tables are bit-identical
+// for any Config.Workers value — the property the results/ golden files
+// pin. Drivers may run cells concurrently through internal/runner, but a
+// Config is owned by one driver call at a time; nothing here is safe for
+// concurrent mutation.
 package experiment
 
 import (

@@ -1,6 +1,11 @@
 // Package plot renders series as ASCII line charts, so the experiment
 // drivers can produce figure-shaped output (the paper reports figures, not
 // tables) on any terminal without external dependencies.
+//
+// Rendering is a pure function of its inputs: the same series yield the
+// same bytes (series are drawn in slice order, never map order), so chart
+// output can be golden-tested like every other table. The package is
+// stateless and safe for concurrent use.
 package plot
 
 import (

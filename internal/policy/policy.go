@@ -7,7 +7,13 @@
 // analysis (section 7).
 //
 // Policies are stateful per run where needed (Round-Robin's counter,
-// Random's generator); build a fresh policy per simulation.
+// Random's generator); build a fresh policy per simulation — policies are
+// not safe for concurrent use and must not be shared across cells.
+// Dispatch decisions are deterministic: they depend only on the policy's
+// own state and the host snapshot it is shown, with randomness confined
+// to the sim.RNG stream injected at construction. The indexed variants
+// keep their hostindex structures in reusable storage, so host selection
+// stays allocation-free on the simulation hot path.
 package policy
 
 import (

@@ -317,6 +317,9 @@ func RunPS(jobs []workload.Job, cfg Config) *Result {
 	}
 	eng := sim.Acquire()
 	defer sim.Release(eng)
+	if cfg.Interrupt != nil {
+		eng.SetCancelCheck(cfg.interruptEvery(), cfg.Interrupt)
+	}
 	sys := newPSOn(eng, cfg.Hosts, cfg.Policy, func(rec JobRecord) {
 		res.PerHostJobs[rec.Host]++
 		if rec.Departure > res.Horizon {
@@ -340,6 +343,7 @@ func RunPS(jobs []workload.Job, cfg Config) *Result {
 		}
 	})
 	sys.Simulate(renumbered)
+	res.Interrupted = eng.Interrupted()
 	for i, h := range sys.hosts {
 		res.PerHostWork[i] = h.workDone
 	}

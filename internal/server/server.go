@@ -4,6 +4,14 @@
 // run-to-completion (no preemption, no time-sharing). The dispatcher runs a
 // pluggable task assignment policy; pull-based policies (Central-Queue) hold
 // jobs at the dispatcher until a host goes idle.
+//
+// A simulation run is deterministic and single-goroutine: given the same
+// policy, job stream, and options, Run and RunPS produce bit-identical
+// Results on every execution. Steady-state runs are allocation-free —
+// host queues, the event heap, and statistics accumulators all live in
+// reusable storage owned by the sim.Engine. Concurrency happens one
+// level up (internal/runner for sweeps, internal/service for the HTTP
+// server), always with one engine, one policy, and one Result per cell.
 package server
 
 import (

@@ -13,12 +13,19 @@
 // is a safe no-op. Engines are reusable via Reset and poolable via
 // Acquire/Release, so a sweep of thousands of simulation cells reuses a
 // few engines' backing arrays instead of reallocating per cell.
+//
+// Serving paths that must bound a simulation's wall-clock cost can install
+// a cooperative cancellation probe (SetCancelCheck): a zero-allocation
+// callback polled every N fired events. The probe is off by default and
+// cleared on Reset/Acquire/Release, so batch paths (cmd/sweep, results/)
+// never observe it and their output stays byte-identical.
 package sim
 
 import (
 	"fmt"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 )
 
 // Event is a callback scheduled to run at a virtual time.
@@ -109,6 +116,16 @@ type Engine struct {
 	stopped bool
 	fired   uint64
 	handler Handler
+
+	// Cooperative cancellation (SetCancelCheck): checkFn is polled every
+	// checkEvery fired events; when it reports true the run stops and
+	// interrupted is set. checkEvery == 0 (the default) disables the
+	// check entirely, so CLI/sweep paths pay one predictable branch per
+	// event and produce byte-identical output.
+	checkEvery  uint64
+	checkCount  uint64
+	checkFn     func() bool
+	interrupted bool
 }
 
 // Now reports the current virtual time.
@@ -278,6 +295,30 @@ func (e *Engine) ScheduleReserved(t float64, seq uint64, ev Ev) Handle {
 // completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetCancelCheck installs a cooperative cancellation probe: fn is polled
+// once every `every` fired events during Run/RunUntil, and when it reports
+// true the run stops after the current event and Interrupted reports true.
+// every <= 0 (or fn == nil) disables the check — the default — so the
+// probe costs nothing on paths that never set it and simulation output
+// stays byte-identical. The probe itself allocates nothing on the engine
+// side; fn should be equally cheap (e.g. a non-blocking context poll).
+// Reset and Acquire clear the probe, so pooled engines never retain a
+// request-scoped closure across reuse.
+func (e *Engine) SetCancelCheck(every int, fn func() bool) {
+	if every <= 0 || fn == nil {
+		e.checkEvery, e.checkFn = 0, nil
+		return
+	}
+	e.checkEvery = uint64(every)
+	e.checkFn = fn
+	e.checkCount = 0
+}
+
+// Interrupted reports whether the most recent Run/RunUntil stopped because
+// the cancel check fired (as opposed to draining the queue, reaching the
+// horizon, or Stop).
+func (e *Engine) Interrupted() bool { return e.interrupted }
+
 // Run executes events in time order until the queue drains or Stop is
 // called.
 func (e *Engine) Run() {
@@ -290,6 +331,7 @@ func (e *Engine) Run() {
 // dispatch path) if a typed event fires with no Handler installed.
 func (e *Engine) RunUntil(horizon float64) {
 	e.stopped = false
+	e.interrupted = false
 	for len(e.events) > 0 && !e.stopped {
 		top := e.events[0]
 		if horizon >= 0 && top.at > horizon {
@@ -298,6 +340,15 @@ func (e *Engine) RunUntil(horizon float64) {
 		}
 		e.popTop()
 		e.fire(top)
+		if e.checkEvery != 0 {
+			if e.checkCount++; e.checkCount >= e.checkEvery {
+				e.checkCount = 0
+				if e.checkFn() {
+					e.interrupted = true
+					e.stopped = true
+				}
+			}
+		}
 	}
 }
 
@@ -353,18 +404,42 @@ func (e *Engine) Reset() {
 	e.live = 0
 	e.fired = 0
 	e.stopped = false
+	e.checkEvery = 0
+	e.checkCount = 0
+	e.checkFn = nil
+	e.interrupted = false
 }
 
 // enginePool recycles engines across simulation cells: a sweep's worker
 // goroutines Acquire/Release thousands of times but allocate only a
 // handful of engines, and each reuse carries warmed-up heap and arena
 // capacity with it.
-var enginePool = sync.Pool{New: func() any { return new(Engine) }}
+var enginePool = sync.Pool{New: func() any {
+	poolNews.Add(1)
+	return new(Engine)
+}}
+
+// poolAcquires and poolNews count Acquire calls and fresh allocations the
+// pool had to make, so long-running services can report engine reuse on
+// their metrics surface. One atomic add per simulation cell is noise next
+// to the cell's own cost.
+var (
+	poolAcquires atomic.Uint64
+	poolNews     atomic.Uint64
+)
+
+// PoolStats reports how many engines have been handed out by Acquire and
+// how many of those were fresh allocations (rather than pool reuses) since
+// process start. Safe for concurrent use.
+func PoolStats() (acquires, news uint64) {
+	return poolAcquires.Load(), poolNews.Load()
+}
 
 // Acquire returns a Reset engine from a process-wide reuse pool. Pair
 // with Release when the simulation is done. Safe for concurrent use; the
 // engine itself remains single-goroutine.
 func Acquire() *Engine {
+	poolAcquires.Add(1)
 	e := enginePool.Get().(*Engine)
 	e.Reset()
 	e.handler = nil
@@ -374,8 +449,12 @@ func Acquire() *Engine {
 // Release returns an engine to the reuse pool. The caller must not use
 // the engine afterwards (outstanding Handles become inert only after the
 // next Acquire's Reset, so do not Release an engine whose handles are
-// still being canceled).
-func Release(e *Engine) { enginePool.Put(e) }
+// still being canceled). The cancel check is dropped before pooling so a
+// request-scoped closure is never retained by an idle engine.
+func Release(e *Engine) {
+	e.checkEvery, e.checkFn = 0, nil
+	enginePool.Put(e)
+}
 
 // NewRNG derives a deterministic PCG generator from a seed and a stream
 // index. Separate streams decouple, e.g., arrival times from job sizes so

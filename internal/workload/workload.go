@@ -2,6 +2,13 @@
 // processes (Poisson, renewal, Markov-modulated, trace replay), job-size
 // sources, and the Source type that pairs them into a stream of jobs at a
 // target system load.
+//
+// Determinism contract: every sampling path draws only from the sim.RNG
+// streams handed in at construction, so the same (profile, seed, load,
+// hosts) tuple always yields the identical job stream — the property the
+// experiment harness, the golden record tests, and the simd response
+// cache all build on. Sources are single-goroutine: each simulation cell
+// builds its own, and nothing here is safe for concurrent use.
 package workload
 
 import (
