@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sita/internal/analysis"
+)
+
+// finding is one diagnostic in the machine-readable report. File is
+// module-relative with forward slashes, so reports are stable across
+// checkouts and operating systems.
+type finding struct {
+	Analyzer  string `json:"analyzer"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Column    int    `json:"column"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined,omitempty"`
+}
+
+// baselineEntry is one accepted finding in the checked-in baseline.
+// Matching is by (analyzer, file, message) and ignores line/column, so
+// unrelated edits above a finding do not churn the baseline. Reason is
+// mandatory: a baseline without rationale is just a muted alarm.
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Reason   string `json:"reason"`
+}
+
+// report is the top-level -json document.
+type report struct {
+	Findings      []finding       `json:"findings"`
+	StaleBaseline []baselineEntry `json:"stale_baseline"`
+}
+
+// readBaseline loads and validates a baseline file. Every entry must
+// name an analyzer, a file, a message, and a reason.
+func readBaseline(path string) ([]baselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	for i, e := range entries {
+		if e.Analyzer == "" || e.File == "" || e.Message == "" {
+			return nil, fmt.Errorf("baseline %s: entry %d needs analyzer, file, and message", path, i)
+		}
+		if e.Reason == "" {
+			return nil, fmt.Errorf("baseline %s: entry %d (%s in %s) needs a reason", path, i, e.Analyzer, e.File)
+		}
+	}
+	return entries, nil
+}
+
+// toFindings converts analyzer diagnostics to report findings, making
+// file paths module-relative to root where possible.
+func toFindings(diags []analysis.Diagnostic, root string) []finding {
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) {
+			file = rel
+		}
+		out = append(out, finding{
+			Analyzer: d.Analyzer,
+			File:     filepath.ToSlash(file),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// applyBaseline marks findings matched by the baseline (mutating their
+// Baselined field in place) and partitions the result: fresh findings
+// that should fail the run, and stale baseline entries that matched
+// nothing and should be deleted. One entry may cover several identical
+// findings (the same message can recur in a file at different lines).
+func applyBaseline(findings []finding, baseline []baselineEntry) (fresh []finding, stale []baselineEntry) {
+	type key struct{ analyzer, file, message string }
+	matched := make(map[key]bool, len(baseline))
+	accepted := make(map[key]bool, len(baseline))
+	for _, e := range baseline {
+		accepted[key{e.Analyzer, e.File, e.Message}] = true
+	}
+	for i := range findings {
+		k := key{findings[i].Analyzer, findings[i].File, findings[i].Message}
+		if accepted[k] {
+			findings[i].Baselined = true
+			matched[k] = true
+		} else {
+			fresh = append(fresh, findings[i])
+		}
+	}
+	for _, e := range baseline {
+		if !matched[key{e.Analyzer, e.File, e.Message}] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}

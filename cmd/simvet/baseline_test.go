@@ -1,0 +1,119 @@
+package main
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sita/internal/analysis"
+)
+
+func entry(an, file, msg string) baselineEntry {
+	return baselineEntry{Analyzer: an, File: file, Message: msg, Reason: "test"}
+}
+
+func TestApplyBaselinePartition(t *testing.T) {
+	findings := []finding{
+		{Analyzer: "detflow", File: "a/x.go", Line: 10, Message: "reaches time.Now"},
+		{Analyzer: "floateq", File: "b/y.go", Line: 3, Message: "exact comparison"},
+		// Same (analyzer, file, message) at another line: one baseline
+		// entry must cover both occurrences.
+		{Analyzer: "detflow", File: "a/x.go", Line: 42, Message: "reaches time.Now"},
+	}
+	baseline := []baselineEntry{
+		entry("detflow", "a/x.go", "reaches time.Now"),
+		entry("pairing", "gone.go", "Acquire without Release"), // matches nothing
+	}
+
+	fresh, stale := applyBaseline(findings, baseline)
+
+	if len(fresh) != 1 || fresh[0].Analyzer != "floateq" {
+		t.Errorf("fresh = %+v, want only the floateq finding", fresh)
+	}
+	if len(stale) != 1 || stale[0].File != "gone.go" {
+		t.Errorf("stale = %+v, want only the pairing entry", stale)
+	}
+	if !findings[0].Baselined || !findings[2].Baselined {
+		t.Errorf("both detflow occurrences should be marked baselined: %+v", findings)
+	}
+	if findings[1].Baselined {
+		t.Errorf("the floateq finding must not be baselined: %+v", findings[1])
+	}
+}
+
+func TestApplyBaselineLineIndependent(t *testing.T) {
+	// A finding that moved lines (code inserted above it) still matches.
+	findings := []finding{{Analyzer: "allocfree", File: "p/q.go", Line: 99, Message: "calls append"}}
+	fresh, stale := applyBaseline(findings, []baselineEntry{entry("allocfree", "p/q.go", "calls append")})
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("fresh=%v stale=%v, want both empty", fresh, stale)
+	}
+}
+
+func TestApplyBaselineEmpty(t *testing.T) {
+	findings := []finding{{Analyzer: "maporder", File: "m.go", Message: "map range"}}
+	fresh, stale := applyBaseline(findings, nil)
+	if len(fresh) != 1 || len(stale) != 0 {
+		t.Errorf("fresh=%v stale=%v, want all findings fresh and no stale", fresh, stale)
+	}
+}
+
+func TestToFindingsRelativizesPaths(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("mod", "root")
+	diags := []analysis.Diagnostic{
+		{
+			Analyzer: "detflow",
+			Pos:      token.Position{Filename: filepath.Join(root, "internal", "sim", "engine.go"), Line: 7, Column: 2},
+			Message:  "m",
+		},
+		{
+			Analyzer: "floateq",
+			Pos:      token.Position{Filename: string(filepath.Separator) + filepath.Join("elsewhere", "z.go"), Line: 1, Column: 1},
+			Message:  "n",
+		},
+	}
+	fs := toFindings(diags, root)
+	if fs[0].File != "internal/sim/engine.go" {
+		t.Errorf("in-module path = %q, want module-relative slash path", fs[0].File)
+	}
+	// Out-of-module paths relativize too (filepath.Rel succeeds with ..),
+	// which is fine: the baseline matches whatever toFindings emits, and
+	// the emission is deterministic for a fixed working directory.
+	if fs[1].Line != 1 || fs[1].Analyzer != "floateq" {
+		t.Errorf("second finding mangled: %+v", fs[1])
+	}
+}
+
+func TestReadBaselineValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	if got, err := readBaseline(write("ok.json",
+		`[{"analyzer":"detflow","file":"a.go","message":"m","reason":"accepted: legacy path"}]`)); err != nil || len(got) != 1 {
+		t.Errorf("valid baseline: got %v, %v", got, err)
+	}
+	if got, err := readBaseline(write("empty.json", `[]`)); err != nil || len(got) != 0 {
+		t.Errorf("empty baseline: got %v, %v", got, err)
+	}
+	if _, err := readBaseline(write("noreason.json",
+		`[{"analyzer":"detflow","file":"a.go","message":"m"}]`)); err == nil {
+		t.Error("entry without reason must be rejected")
+	}
+	if _, err := readBaseline(write("nofile.json",
+		`[{"analyzer":"detflow","message":"m","reason":"r"}]`)); err == nil {
+		t.Error("entry without file must be rejected")
+	}
+	if _, err := readBaseline(write("garbage.json", `{not json`)); err == nil {
+		t.Error("malformed JSON must be rejected")
+	}
+	if _, err := readBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file must be rejected")
+	}
+}

@@ -1,7 +1,10 @@
 // Package analysis is the simulator's static-analysis suite: five
-// analyzers (seedflow, nowallclock, maporder, floateq, panicpolicy) that
-// machine-check the determinism and numeric-correctness contracts the
-// experiment pipeline depends on, plus the small framework they run on.
+// file-local analyzers (seedflow, nowallclock, maporder, floateq,
+// panicpolicy) plus three interprocedural ones (detflow, allocfree,
+// pairing) that machine-check the determinism, allocation, and
+// resource-lifecycle contracts the experiment pipeline depends on, and
+// the small framework they run on — including a whole-module call graph
+// (see callgraph.go) for the interprocedural family.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis shape —
 // an Analyzer holds a Run function over a type-checked Pass, diagnostics
@@ -30,13 +33,16 @@ import (
 	"strings"
 )
 
-// An Analyzer is one named check. Run inspects the package in pass and
-// reports findings via pass.Reportf; suppression filtering and diagnostic
-// ordering are handled by the driver, not by individual analyzers.
+// An Analyzer is one named check. File-local analyzers set Run, which
+// inspects one package per pass; interprocedural analyzers set RunModule,
+// which sees every target package at once plus the module call graph.
+// Suppression filtering and diagnostic ordering are handled by the
+// driver, not by individual analyzers.
 type Analyzer struct {
-	Name string // short lower-case identifier, used in //lint:allow
-	Doc  string // one-paragraph description of the contract enforced
-	Run  func(pass *Pass)
+	Name      string // short lower-case identifier, used in //lint:allow
+	Doc       string // one-paragraph description of the contract enforced
+	Run       func(pass *Pass)
+	RunModule func(pass *ModulePass)
 }
 
 // A Pass couples one analyzer with one loaded package.
@@ -52,6 +58,26 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A ModulePass couples one interprocedural analyzer with the whole set
+// of loaded target packages and the call graph built over them.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Graph    *CallGraph
+
+	fset  *token.FileSet
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -124,42 +150,88 @@ func parseDirectives(pkg *Package, file *ast.File, known map[string]bool, diags 
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics in deterministic (file, line, column, analyzer) order.
 // A diagnostic is dropped when a matching //lint:allow directive sits on
-// the same line or the line directly above it.
+// the same line or the line directly above it. A directive that drops
+// nothing is itself reported as stale (pseudo-analyzer "lint"), so the
+// allowlist cannot outlive the findings it was written for.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	known := make(map[string]bool, len(analyzers))
+	needGraph := false
 	for _, a := range analyzers {
 		known[a.Name] = true
+		if a.RunModule != nil {
+			needGraph = true
+		}
 	}
 
 	var diags []Diagnostic
-	// allowed maps (filename, line, analyzer) to a suppression.
+	// allowed maps (filename, line, analyzer) to its suppression record,
+	// which tracks whether the directive ever matched a diagnostic.
 	type key struct {
 		file     string
 		line     int
 		analyzer string
 	}
-	allowed := make(map[key]bool)
+	type allowRec struct {
+		pos  token.Position
+		used bool
+	}
+	allowed := make(map[key]*allowRec)
 
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, d := range parseDirectives(pkg, f, known, &diags) {
-				name := pkg.Fset.Position(d.pos).Filename
-				allowed[key{name, d.line, d.analyzer}] = true
+				p := pkg.Fset.Position(d.pos)
+				allowed[key{p.Filename, d.line, d.analyzer}] = &allowRec{pos: p}
 			}
 		}
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
 			a.Run(pass)
 		}
 	}
 
+	if needGraph && len(pkgs) > 0 {
+		graph, gdiags := BuildCallGraph(pkgs)
+		diags = append(diags, gdiags...)
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			pass := &ModulePass{
+				Analyzer: a,
+				Pkgs:     pkgs,
+				Graph:    graph,
+				fset:     pkgs[0].Fset,
+				diags:    &diags,
+			}
+			a.RunModule(pass)
+		}
+	}
+
 	kept := diags[:0]
 	for _, d := range diags {
-		if allowed[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
-			allowed[key{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}] {
+		if rec := allowed[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; rec != nil {
+			rec.used = true
+			continue
+		}
+		if rec := allowed[key{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]; rec != nil {
+			rec.used = true
 			continue
 		}
 		kept = append(kept, d)
+	}
+	for k, rec := range allowed {
+		if rec.used {
+			continue
+		}
+		kept = append(kept, Diagnostic{
+			Analyzer: "lint",
+			Pos:      rec.pos,
+			Message:  fmt.Sprintf("stale %s %s: it no longer suppresses anything; delete it", AllowPrefix, k.analyzer),
+		})
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
@@ -180,7 +252,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return kept
 }
 
-// Analyzers returns the full simvet suite in a fixed order.
+// Analyzers returns the full simvet suite in a fixed order: the five
+// file-local checkers first, then the interprocedural family built on the
+// module call graph.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Seedflow, NoWallClock, MapOrder, FloatEq, PanicPolicy}
+	return []*Analyzer{
+		Seedflow, NoWallClock, MapOrder, FloatEq, PanicPolicy,
+		Detflow, Allocfree, Pairing,
+	}
 }

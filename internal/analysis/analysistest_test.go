@@ -114,8 +114,11 @@ func TestAnalyzers(t *testing.T) {
 func TestAnalyzersRegistered(t *testing.T) {
 	seen := make(map[string]bool)
 	for _, a := range Analyzers() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v is missing a name or doc", a)
+		}
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("analyzer %q must set exactly one of Run (file-local) and RunModule (interprocedural)", a.Name)
 		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)

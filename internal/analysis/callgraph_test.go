@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixtureGraph loads one testdata package and builds its call graph,
+// failing the test on malformed //sim: directives unless wantDiags.
+func loadFixtureGraph(t *testing.T, name string) *CallGraph {
+	t.Helper()
+	pkgs, err := Load(".", "./testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	g, diags := BuildCallGraph(pkgs)
+	if len(diags) != 0 {
+		t.Fatalf("fixture %s: unexpected directive diagnostics: %v", name, diags)
+	}
+	return g
+}
+
+// byDisplay finds the unique node with the given display key.
+func byDisplay(t *testing.T, g *CallGraph, display string) *CGNode {
+	t.Helper()
+	var found *CGNode
+	for _, n := range g.Nodes() {
+		if g.Display(n.Key) == display {
+			if found != nil {
+				t.Fatalf("display key %q is ambiguous", display)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node with display key %q", display)
+	}
+	return found
+}
+
+// reachSet walks from one root over the given edge kinds and returns the
+// display keys of every reached module node.
+func reachSet(g *CallGraph, root *CGNode, follow map[EdgeKind]bool) map[string]bool {
+	order, _ := g.Walk([]*CGNode{root}, follow, false)
+	set := make(map[string]bool, len(order))
+	for _, n := range order {
+		set[g.Display(n.Key)] = true
+	}
+	return set
+}
+
+var followAll = map[EdgeKind]bool{EdgeCall: true, EdgeIface: true, EdgeRef: true}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	g := loadFixtureGraph(t, "callgraph")
+	reach := reachSet(g, byDisplay(t, g, "callgraph.drive"), followAll)
+
+	for _, want := range []string{
+		"callgraph.drive",
+		"(*callgraph.roundRobin).pick",  // interface candidate
+		"(*callgraph.leastLoaded).pick", // interface candidate
+		"callgraph.argmin",              // through leastLoaded.pick
+		"callgraph.observer",            // value reference
+	} {
+		if !reach[want] {
+			t.Errorf("drive should reach %s; reached %v", want, keys(reach))
+		}
+	}
+	for _, bad := range []string{
+		"(callgraph.decoy).pick", // same name, different signature
+		"callgraph.isolated",
+		"callgraph.ping",
+	} {
+		if reach[bad] {
+			t.Errorf("drive must not reach %s", bad)
+		}
+	}
+}
+
+func TestCallGraphMutualRecursionTerminates(t *testing.T) {
+	g := loadFixtureGraph(t, "callgraph")
+	reach := reachSet(g, byDisplay(t, g, "callgraph.viaClosure"), followAll)
+	// The closure's call belongs to viaClosure; the ping/pong cycle is
+	// entered once and the walk terminates.
+	for _, want := range []string{"callgraph.viaClosure", "callgraph.ping", "callgraph.pong"} {
+		if !reach[want] {
+			t.Errorf("viaClosure should reach %s; reached %v", want, keys(reach))
+		}
+	}
+}
+
+func TestCallGraphDynamicCallsHaveNoCallEdge(t *testing.T) {
+	g := loadFixtureGraph(t, "callgraph")
+	dyn := byDisplay(t, g, "callgraph.dynamic")
+	var calls, refs []string
+	for _, e := range dyn.Out {
+		switch e.Kind {
+		case EdgeCall:
+			calls = append(calls, g.Display(e.To.Key))
+		case EdgeRef:
+			refs = append(refs, g.Display(e.To.Key))
+		}
+	}
+	if len(calls) != 0 {
+		t.Errorf("dynamic's func-value call must produce no call edge, got %v", calls)
+	}
+	// The references into the table are still visible, so reachability
+	// with EdgeRef stays conservative.
+	want := map[string]bool{"callgraph.ping": false, "callgraph.pong": false}
+	for _, r := range refs {
+		if _, ok := want[r]; ok {
+			want[r] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("dynamic should hold a reference edge to %s, got %v", name, refs)
+		}
+	}
+}
+
+func TestCallGraphIsolatedNode(t *testing.T) {
+	g := loadFixtureGraph(t, "callgraph")
+	iso := byDisplay(t, g, "callgraph.isolated")
+	if len(iso.Out) != 0 {
+		t.Errorf("isolated should have no out edges, got %d", len(iso.Out))
+	}
+}
+
+// TestSimDirectiveValidation checks that malformed //sim: directives are
+// reported rather than silently dropped.
+func TestSimDirectiveValidation(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module simdirectives\n\ngo 1.22\n",
+		"d.go": "// Package d carries malformed contract directives.\n" +
+			"package d\n\n" +
+			"// A is fine.\n" +
+			"//sim:entry\n" +
+			"func A() {}\n\n" +
+			"// B mistypes the verb.\n" +
+			"//sim:noallocs\n" +
+			"func B() {}\n\n" +
+			"// C forgets the mandatory io reason.\n" +
+			"//sim:io\n" +
+			"func C() {}\n\n" +
+			"// D has no verb at all.\n" +
+			"//sim:\n" +
+			"func D() {}\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := Load(dir)
+	if err != nil {
+		t.Fatalf("loading directive module: %v", err)
+	}
+	g, diags := BuildCallGraph(pkgs)
+	if len(diags) != 3 {
+		t.Fatalf("got %d directive diagnostics, want 3: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "lint" {
+			t.Errorf("directive diagnostics report as %q, want lint", d.Analyzer)
+		}
+	}
+	joined := ""
+	for _, d := range diags {
+		joined += d.Message + "\n"
+	}
+	for _, want := range []string{"noallocs", "needs a reason", "need a verb"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("directive diagnostics %q missing %q", joined, want)
+		}
+	}
+	// The well-formed entry parsed.
+	var entry *CGNode
+	for _, n := range g.Nodes() {
+		if n.Name == "A" && n.Pkg != nil {
+			entry = n
+		}
+	}
+	if entry == nil || !entry.Entry {
+		t.Errorf("well-formed //sim:entry on A not parsed: %+v", entry)
+	}
+}
+
+// TestStaleAllowReported pins the stale-suppression check: a directive
+// with nothing to suppress is itself a finding, a used one is not.
+func TestStaleAllowReported(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/staleallow")
+	if err != nil {
+		t.Fatalf("loading staleallow fixture: %v", err)
+	}
+	diags := Run(pkgs, Analyzers())
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the stale directive: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "lint" || !strings.Contains(d.Message, "stale") ||
+		!strings.Contains(d.Message, "nowallclock") {
+		t.Errorf("got %v, want a lint diagnostic for the stale nowallclock allow", d)
+	}
+	if !strings.HasSuffix(d.Pos.Filename, "staleallow.go") || d.Pos.Line != 21 {
+		t.Errorf("stale directive reported at %s:%d, want staleallow.go:21", d.Pos.Filename, d.Pos.Line)
+	}
+}
+
+// keys flattens a reach set for failure messages.
+func keys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Detflow is the interprocedural determinism-taint analyzer. Starting
+// from every //sim:entry function (the simulation drivers: engine run
+// loops, server.Run, experiment tables), it walks the static call graph —
+// direct calls, interface-dispatch candidates, and function references —
+// and reports any path that reaches a nondeterministic or
+// machine-dependent source:
+//
+//   - wall-clock time (time.Now, Since, Sleep, timers, LoadLocation)
+//   - the global math/rand generator (unseeded, process-global state)
+//   - machine- and environment-dependent values (runtime.NumCPU,
+//     runtime.GOMAXPROCS, os.Getenv, os.Environ, os.Hostname, os.Getpid)
+//   - map-range iteration whose elements are appended to a result
+//     (iteration order leaks into returned data)
+//
+// The file-local analyzers (nowallclock, seedflow, maporder) catch the
+// same constructs at the site where they occur; detflow additionally
+// proves that no annotated simulation entry point can reach such a site
+// through any chain of module functions — including chains that cross
+// package boundaries, where file-local checks are blind.
+//
+// A call tree that must legitimately leave simulation code (progress
+// logging to a terminal, request-deadline polling) is marked at its
+// boundary function with //sim:io <reason>; the walk stops there and
+// nothing beyond it is reported. The reason is mandatory, keeping the
+// boundary set auditable.
+//
+// The walk is conservative on interface dispatch (every same-name,
+// same-signature concrete method in the module is a candidate) and
+// blind through func-typed variables; see callgraph.go for the exact
+// edge semantics.
+var Detflow = &Analyzer{
+	Name: "detflow",
+	Doc: "determinism taint: no //sim:entry call tree may reach wall-clock, " +
+		"global math/rand, machine-dependent sources, or map-order-dependent " +
+		"results; mark legitimate exits with //sim:io <reason>",
+	RunModule: runDetflow,
+}
+
+// detForbidden maps external function keys (types.Func.FullName) to a
+// short phrase naming what contract the source breaks.
+var detForbidden = map[string]string{
+	"time.Now":          "wall-clock time",
+	"time.Since":        "wall-clock time",
+	"time.Until":        "wall-clock time",
+	"time.Sleep":        "wall-clock pacing",
+	"time.After":        "wall-clock timer",
+	"time.AfterFunc":    "wall-clock timer",
+	"time.Tick":         "wall-clock ticker",
+	"time.NewTicker":    "wall-clock ticker",
+	"time.NewTimer":     "wall-clock timer",
+	"time.LoadLocation": "host timezone database",
+
+	"runtime.NumCPU":     "machine-dependent CPU count",
+	"runtime.GOMAXPROCS": "machine-dependent parallelism",
+	"os.Getenv":          "environment variable",
+	"os.LookupEnv":       "environment variable",
+	"os.Environ":         "process environment",
+	"os.Hostname":        "machine hostname",
+	"os.Getpid":          "process id",
+}
+
+// detForbiddenPkgs flags package-level draw functions of a package: the
+// global math/rand top-level functions draw from shared process state,
+// so every one of them (Intn, Float64, Shuffle, Seed, ...) is
+// nondeterministic across runs and goroutine schedules. Methods are
+// exempt — a *rand.Rand drawn from a seeded source is the approved
+// pattern (see seedflow) — and so are New* constructors (rand.New,
+// rand.NewPCG), which are pure functions of the explicit seed they are
+// handed; whether that seed is derived correctly is seedflow's contract,
+// not a taint question.
+var detForbiddenPkgs = map[string]string{
+	"math/rand":    "global math/rand state",
+	"math/rand/v2": "global math/rand state",
+}
+
+func runDetflow(pass *ModulePass) {
+	g := pass.Graph
+
+	var roots []*CGNode
+	for _, n := range g.Nodes() {
+		if n.Entry {
+			roots = append(roots, n)
+		}
+		if n.Entry && n.IO {
+			// The two directives contradict: an entry roots the
+			// deterministic region; io exits it.
+			pass.Reportf(n.Decl.Pos(),
+				"%s is marked both //sim:entry and //sim:io; an entry point cannot be its own exit boundary",
+				g.Display(n.Key))
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	follow := map[EdgeKind]bool{EdgeCall: true, EdgeIface: true, EdgeRef: true}
+	order, parent := g.Walk(roots, follow, true)
+
+	for _, n := range order {
+		// Each reached module function is inside the deterministic
+		// region: inspect its direct out-edges for forbidden externals.
+		// Reporting at the call site (not the entry point) puts the
+		// diagnostic where the fix goes; the path fragment names the
+		// chain from the entry point that taints it.
+		seen := make(map[string]bool) // one report per callee per function
+		for _, e := range n.Out {
+			to := e.To
+			if to.Pkg != nil {
+				continue // module-internal: visited on its own
+			}
+			why, bad := detForbidden[to.Key]
+			if !bad {
+				if w, ok := detForbiddenPkgs[to.PkgPath]; ok && !to.Method() &&
+					!strings.HasPrefix(to.Name, "New") {
+					why, bad = w, true
+				}
+			}
+			if !bad || seen[to.Key] {
+				continue
+			}
+			seen[to.Key] = true
+			pass.Reportf(e.Pos,
+				"%s reaches %s (%s) inside the deterministic region (via %s); make it simulation-time, thread a seeded RNG, or mark the boundary //sim:io <reason>",
+				g.Display(n.Key), g.Display(to.Key), why, g.pathVia(parent, n))
+		}
+
+		if n.Decl != nil && n.Decl.Body != nil {
+			reportOrderSensitiveRanges(pass, g, n, parent)
+		}
+	}
+}
+
+// reportOrderSensitiveRanges flags map-range statements inside the
+// deterministic region whose iteration order leaks into accumulated
+// output: the body appends into a slice that outlives the loop and is
+// never sorted afterwards. The condition is deliberately identical to
+// the file-local maporder analyzer's — what detflow adds is the proof
+// that the leak sits on a simulation entry point's call tree (named in
+// the path fragment), which is what turns "stylistic nit" into
+// "committed results change between runs".
+func reportOrderSensitiveRanges(pass *ModulePass, g *CallGraph, n *CGNode, parent map[*CGNode]*CGNode) {
+	info := n.Pkg.Info
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		rs, ok := node.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := info.TypeOf(rs.X); t == nil {
+			return true
+		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		leaks := false
+		ast.Inspect(rs.Body, func(inner ast.Node) bool {
+			as, ok := inner.(*ast.AssignStmt)
+			if !ok || leaks {
+				return !leaks
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(info, call, "append") || i >= len(as.Lhs) {
+					continue
+				}
+				obj := assignedObj(info, as.Lhs[i])
+				if obj == nil || obj.Pos() >= rs.Pos() {
+					continue
+				}
+				if sortedAfter(info, n.Decl, rs, obj) {
+					continue
+				}
+				leaks = true
+			}
+			return true
+		})
+		if leaks {
+			pass.Reportf(rs.Pos(),
+				"%s ranges over a map and accumulates elements in iteration order inside the deterministic region (via %s); iterate a sorted key slice instead",
+				g.Display(n.Key), g.pathVia(parent, n))
+		}
+		return true
+	})
+}

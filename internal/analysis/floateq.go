@@ -47,6 +47,10 @@ func runFloatEq(pass *Pass) {
 	info := pass.Pkg.Info
 	for _, file := range pass.Pkg.Files {
 		inspectFuncs(file, func(n ast.Node, fn *ast.FuncDecl) {
+			if sw, ok := n.(*ast.SwitchStmt); ok {
+				checkFloatSwitch(pass, sw, fn)
+				return
+			}
 			bin, ok := n.(*ast.BinaryExpr)
 			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
 				return
@@ -70,6 +74,38 @@ func runFloatEq(pass *Pass) {
 			pass.Reportf(bin.Pos(),
 				"floating-point %s is exact and brittle under rounding; use a tolerance helper (AlmostEqual) or compare against an explicit epsilon", bin.Op)
 		})
+	}
+}
+
+// checkFloatSwitch flags switch statements whose tag is a float (named
+// float types included — the underlying kind is what compares): every
+// case arm is an exact == against the tag, so the whole construct is a
+// chain of the comparisons runFloatEq forbids, just spelled differently.
+// Case expressions that are the constant zero keep the binary-expression
+// exemption (a float is exactly zero iff nothing nonzero reached it);
+// a switch whose every arm is exempt is not reported at all.
+func checkFloatSwitch(pass *Pass, sw *ast.SwitchStmt, fn *ast.FuncDecl) {
+	if sw.Tag == nil || isToleranceHelper(fn) {
+		return
+	}
+	info := pass.Pkg.Info
+	tagTV, ok := info.Types[sw.Tag]
+	if !ok || tagTV.Type == nil || !isFloat(tagTV.Type) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range clause.List {
+			tv, ok := info.Types[expr]
+			if ok && isConstZero(tv) {
+				continue
+			}
+			pass.Reportf(expr.Pos(),
+				"switch case compares floats exactly (%s is %s); exact float dispatch is brittle under rounding — use if/else with a tolerance helper", types.ExprString(sw.Tag), tagTV.Type)
+		}
 	}
 }
 

@@ -63,6 +63,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	cmd.Dir = dir
 	// Pure-Go builds only: cgo files would need the C preprocessor and
 	// break offline, deterministic analysis.
+	//lint:allow nowallclock the analyzer driver must inherit the environment to invoke the go tool; no simulation output depends on it
 	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr

@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Pairing checks resource-lifecycle pairing conventions in function
+// bodies — the rules the engine pool (internal/sim) and the HTTP service
+// (internal/service) depend on for correctness under early returns and
+// concurrency:
+//
+//   - Acquire/Release: a value obtained from an Acquire call must have a
+//     deferred Release for the same variable, registered before any
+//     return statement can execute; otherwise an early return leaks the
+//     pooled resource.
+//
+//   - SetCancelCheck ordering: SetCancelCheck installs per-run cancel
+//     state on a pooled engine; Release is what clears it. The deferred
+//     Release must therefore already be registered (lexically earlier)
+//     when SetCancelCheck runs — otherwise a panic or early return
+//     between the two would return a poisoned engine to the pool.
+//
+//   - Lock/Unlock: a mutex Lock without a deferred Unlock must reach its
+//     unlock on every path; a return statement lexically between the
+//     Lock and the next matching Unlock of the same receiver exits with
+//     the lock held. (RLock pairs with RUnlock, Lock with Unlock.)
+//
+//   - WaitGroup.Add placement: wg.Add on a captured WaitGroup inside a
+//     go-launched function literal races the corresponding Wait — the
+//     counter may be observed at zero before the goroutine runs. Add
+//     belongs before the go statement.
+//
+// Acquire/Release/SetCancelCheck are matched by name (the module's pool
+// convention); mutex and WaitGroup methods are matched by their defining
+// package (sync), so renamed fields and embedded mutexes are still
+// caught. Each function body is analyzed as its own unit: returns and
+// locks inside nested function literals belong to the literal, not the
+// enclosing function.
+var Pairing = &Analyzer{
+	Name: "pairing",
+	Doc: "resource-lifecycle pairing: Acquire needs a deferred Release " +
+		"before any return, SetCancelCheck requires the deferred Release " +
+		"already registered, no return between Lock and its Unlock, no " +
+		"WaitGroup.Add inside the goroutine being waited for",
+	Run: runPairing,
+}
+
+// bodyUnit is one function body analyzed in isolation: a declaration or
+// a function literal, with nested literals excluded from its statements.
+type bodyUnit struct {
+	body     *ast.BlockStmt
+	label    string
+	goLaunch bool         // the unit is the function of a go statement
+	litRange [2]token.Pos // literal extent; zero for declarations
+}
+
+func runPairing(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			units := collectUnits(fn)
+			for _, u := range units {
+				checkUnit(pass, u)
+			}
+		}
+	}
+}
+
+// collectUnits splits a declaration into body units: the declaration
+// itself plus every nested function literal, each tagged with whether it
+// is directly launched by a go statement.
+func collectUnits(fn *ast.FuncDecl) []bodyUnit {
+	units := []bodyUnit{{body: fn.Body, label: fn.Name.Name}}
+	goLits := make(map[*ast.FuncLit]bool)
+	ast.Inspect(fn.Body, func(node ast.Node) bool {
+		if g, ok := node.(*ast.GoStmt); ok {
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				goLits[lit] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(node ast.Node) bool {
+		if lit, ok := node.(*ast.FuncLit); ok {
+			units = append(units, bodyUnit{
+				body:     lit.Body,
+				label:    fn.Name.Name + " (func literal)",
+				goLaunch: goLits[lit],
+				litRange: [2]token.Pos{lit.Pos(), lit.End()},
+			})
+		}
+		return true
+	})
+	return units
+}
+
+// inspectUnit walks a body unit's statements, skipping nested literals.
+func inspectUnit(u bodyUnit, visit func(ast.Node) bool) {
+	ast.Inspect(u.body, func(node ast.Node) bool {
+		if lit, ok := node.(*ast.FuncLit); ok && lit.Body != u.body {
+			return false
+		}
+		return visit(node)
+	})
+}
+
+// syncMethod reports whether call is a method call defined by package
+// sync with the given name, returning the receiver expression.
+func syncMethod(info *types.Info, call *ast.CallExpr, name string) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return nil, false
+	}
+	obj := selection.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// calleeName extracts the bare name of a call's function expression.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func checkUnit(pass *Pass, u bodyUnit) {
+	info := pass.Pkg.Info
+
+	type acquire struct {
+		varName string
+		pos     token.Pos
+	}
+	type deferRelease struct {
+		varName string
+		pos     token.Pos
+	}
+	type lockSite struct {
+		recv   string // receiver expression, printed
+		unlock string // matching unlock method name
+		pos    token.Pos
+	}
+	var acquires []acquire
+	var releases []deferRelease
+	var locks []lockSite
+	unlocks := make(map[string][]token.Pos)      // recv+method -> plain unlock positions
+	deferUnlocks := make(map[string][]token.Pos) // recv+method -> deferred unlock positions
+	var returns []token.Pos
+
+	// releaseVar extracts the variable a Release call releases: the sole
+	// argument (package-function form, Release(v)) or the receiver
+	// (method form, v.Release()).
+	releaseVar := func(call *ast.CallExpr) string {
+		if len(call.Args) == 1 {
+			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+				return id.Name
+			}
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				return id.Name
+			}
+		}
+		return ""
+	}
+
+	recordDeferredCall := func(call *ast.CallExpr, pos token.Pos) {
+		switch calleeName(call) {
+		case "Release":
+			if v := releaseVar(call); v != "" {
+				releases = append(releases, deferRelease{varName: v, pos: pos})
+			}
+		case "Unlock", "RUnlock":
+			if recv, ok := syncMethod(info, call, calleeName(call)); ok {
+				k := types.ExprString(recv) + "." + calleeName(call)
+				deferUnlocks[k] = append(deferUnlocks[k], pos)
+			}
+		}
+	}
+
+	inspectUnit(u, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.ReturnStmt:
+			returns = append(returns, node.Pos())
+		case *ast.AssignStmt:
+			if len(node.Rhs) == 1 && len(node.Lhs) >= 1 {
+				if call, ok := ast.Unparen(node.Rhs[0]).(*ast.CallExpr); ok && calleeName(call) == "Acquire" {
+					if id, ok := ast.Unparen(node.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+						acquires = append(acquires, acquire{varName: id.Name, pos: node.Pos()})
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			recordDeferredCall(node.Call, node.Pos())
+			// A deferred closure that unlocks or releases also counts:
+			// defer func() { mu.Unlock() }() is a valid pairing.
+			if lit, ok := ast.Unparen(node.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(inner ast.Node) bool {
+					if call, ok := inner.(*ast.CallExpr); ok {
+						recordDeferredCall(call, node.Pos())
+					}
+					return true
+				})
+			}
+			return false // statements inside a defer are not normal flow
+		case *ast.CallExpr:
+			name := calleeName(node)
+			switch name {
+			case "Lock", "RLock":
+				if recv, ok := syncMethod(info, node, name); ok {
+					unlock := "Unlock"
+					if name == "RLock" {
+						unlock = "RUnlock"
+					}
+					locks = append(locks, lockSite{
+						recv:   types.ExprString(recv),
+						unlock: unlock,
+						pos:    node.Pos(),
+					})
+				}
+			case "Unlock", "RUnlock":
+				if recv, ok := syncMethod(info, node, name); ok {
+					k := types.ExprString(recv) + "." + name
+					unlocks[k] = append(unlocks[k], node.Pos())
+				}
+			case "Add":
+				if recv, ok := syncMethod(info, node, "Add"); ok && u.goLaunch {
+					// Only a captured WaitGroup races the outer Wait; one
+					// declared inside the goroutine is the goroutine's own.
+					if id, ok := ast.Unparen(recv).(*ast.Ident); ok {
+						if v, ok := info.Uses[id].(*types.Var); ok &&
+							(v.Pos() < u.litRange[0] || v.Pos() > u.litRange[1]) {
+							pass.Reportf(node.Pos(),
+								"WaitGroup.Add inside the goroutine being waited for races Wait; call Add before the go statement")
+						}
+					}
+				}
+			case "SetCancelCheck":
+				sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr)
+				if !ok {
+					break
+				}
+				id, ok := ast.Unparen(sel.X).(*ast.Ident)
+				if !ok {
+					break
+				}
+				acquired := false
+				for _, a := range acquires {
+					if a.varName == id.Name && a.pos < node.Pos() {
+						acquired = true
+					}
+				}
+				if !acquired {
+					break
+				}
+				guarded := false
+				for _, r := range releases {
+					if r.varName == id.Name && r.pos < node.Pos() {
+						guarded = true
+					}
+				}
+				if !guarded {
+					pass.Reportf(node.Pos(),
+						"SetCancelCheck on %s before its deferred Release is registered; a panic here would return a poisoned engine to the pool", id.Name)
+				}
+			}
+		}
+		return true
+	})
+
+	// Acquire pairing: a deferred Release for the same variable must
+	// exist, and no return may sit between the Acquire and that defer.
+	for _, a := range acquires {
+		var release *deferRelease
+		for i := range releases {
+			if releases[i].varName == a.varName && releases[i].pos > a.pos {
+				release = &releases[i]
+				break
+			}
+		}
+		if release == nil {
+			pass.Reportf(a.pos,
+				"%s acquired without a deferred Release for %q; every return path leaks the pooled resource", u.label, a.varName)
+			continue
+		}
+		for _, r := range returns {
+			if r > a.pos && r < release.pos {
+				pass.Reportf(r,
+					"return between Acquire of %q and its deferred Release leaks the pooled resource", a.varName)
+			}
+		}
+	}
+
+	// Lock pairing: a lock with no deferred unlock must reach a plain
+	// unlock of the same receiver, with no return in the window between.
+	for _, l := range locks {
+		k := l.recv + "." + l.unlock
+		deferred := false
+		for _, p := range deferUnlocks[k] {
+			if p > l.pos {
+				deferred = true
+				break
+			}
+		}
+		if deferred {
+			continue
+		}
+		var next token.Pos
+		for _, p := range unlocks[k] {
+			if p > l.pos && (next == token.NoPos || p < next) {
+				next = p
+			}
+		}
+		if next == token.NoPos {
+			pass.Reportf(l.pos,
+				"%s.%s has no deferred or paired %s in %s; the lock can be held past every exit",
+				l.recv, lockName(l.unlock), l.unlock, u.label)
+			continue
+		}
+		for _, r := range returns {
+			if r > l.pos && r < next {
+				pass.Reportf(r,
+					"return while %s is locked (locked at one site above, %s comes later); unlock first or use defer", l.recv, l.unlock)
+			}
+		}
+	}
+}
+
+// lockName maps an unlock method back to its lock method for messages.
+func lockName(unlock string) string {
+	if unlock == "RUnlock" {
+		return "RLock"
+	}
+	return "Lock"
+}

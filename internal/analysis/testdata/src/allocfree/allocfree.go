@@ -1,0 +1,86 @@
+// Package allocfree is the golden fixture for the //sim:noalloc
+// contract analyzer: allocation sites in annotated functions and their
+// static callees, the panic-path exemption, and the //lint:allow escape
+// hatch for documented amortized-growth appends.
+package allocfree
+
+import "fmt"
+
+// ring is a recycled buffer in the style of the kernel's event heap.
+type ring struct {
+	buf  []int
+	head int
+}
+
+// Push is a hot-path entry point under the noalloc contract; the helper
+// it calls is checked too.
+//
+//sim:noalloc
+func (r *ring) Push(v int) {
+	r.ensure()
+	r.buf = append(r.buf, v) //lint:allow allocfree capacity pre-grown by ensure; append never reallocates here
+	grow(r)
+}
+
+// ensure is reached from Push, so the contract applies here without its
+// own annotation.
+func (r *ring) ensure() {
+	if r.buf == nil {
+		r.buf = make([]int, 0, 64) // want `\(\*allocfree\.ring\)\.ensure calls make inside a //sim:noalloc region \(noalloc via \(\*allocfree\.ring\)\.Push -> \(\*allocfree\.ring\)\.ensure\)`
+	}
+}
+
+// grow allocates two ways; both are reported with the chain that makes
+// them hot-path violations.
+func grow(r *ring) {
+	r.buf = append(r.buf, 0) // want `allocfree\.grow calls append inside a //sim:noalloc region`
+	_ = new(ring)            // want `allocfree\.grow calls new inside a //sim:noalloc region`
+}
+
+// Pop panics on contract violation: panic arguments are not steady
+// state, so the formatting allocation is exempt.
+//
+//sim:noalloc
+func (r *ring) Pop() int {
+	if len(r.buf) == 0 {
+		panic(fmt.Sprintf("pop of empty ring %d", r.head))
+	}
+	v := r.buf[len(r.buf)-1]
+	r.buf = r.buf[:len(r.buf)-1]
+	return v
+}
+
+// Observe boxes its operand into an interface parameter — one heap
+// value per call.
+//
+//sim:noalloc
+func (r *ring) Observe(sink func(any)) {
+	sink(r.head) // want `boxes a int into interface`
+}
+
+// Describe concatenates strings and builds a capturing closure: two
+// allocations per call.
+//
+//sim:noalloc
+func (r *ring) Describe(name string) (string, func() int) {
+	label := "ring:" + name // want `concatenates strings inside a //sim:noalloc region`
+	probe := func() int {   // want `builds a capturing closure inside a //sim:noalloc region`
+		return r.head
+	}
+	_ = label
+	return name, probe
+}
+
+// Reset is init-path code with no annotation and is unreachable from any
+// annotated function: it may allocate freely.
+func (r *ring) Reset(n int) {
+	r.buf = make([]int, 0, n)
+}
+
+// staticProbe is capture-free: it compiles to a static func value, not a
+// closure, so noalloc code may build it.
+//
+//sim:noalloc
+func staticProbe() func() int {
+	return func() int { return 0 }
+}

@@ -1,0 +1,84 @@
+// Package callgraph is the fixture for the call-graph builder itself:
+// interface dispatch, method values, mutual recursion, closures, and
+// dynamic calls the graph deliberately cannot see. The builder test
+// asserts reachability sets over this package directly.
+package callgraph
+
+// policy dispatches through an interface; both implementors must appear
+// as EdgeIface candidates at the call site in drive.
+type policy interface {
+	pick(n int) int
+}
+
+type roundRobin struct{ next int }
+
+func (r *roundRobin) pick(n int) int {
+	r.next = (r.next + 1) % n
+	return r.next
+}
+
+type leastLoaded struct{ load []int }
+
+func (l *leastLoaded) pick(n int) int {
+	return argmin(l.load[:n])
+}
+
+// sameNameDifferentSig must NOT be an interface candidate: the method
+// name matches but the signature does not.
+type decoy struct{}
+
+func (decoy) pick(n, m int) int { return n + m }
+
+// argmin is reached only through leastLoaded.pick.
+func argmin(xs []int) int {
+	best := 0
+	for i := range xs {
+		if xs[i] < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// drive calls through the interface and refers to a helper as a value.
+func drive(p policy, hosts int) int {
+	f := observer // method-style value reference: EdgeRef
+	f(hosts)
+	return p.pick(hosts)
+}
+
+// observer is referenced as a value in drive, never called directly.
+func observer(n int) {}
+
+// ping and pong are mutually recursive; reachability from either must
+// include both and terminate.
+func ping(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return ping(n - 1)
+}
+
+// viaClosure calls ping from inside a closure: the edge belongs to
+// viaClosure, the enclosing declaration.
+func viaClosure(n int) int {
+	f := func() int { return ping(n) }
+	return f()
+}
+
+// dynamic launders a call through a func value: the graph records the
+// references but no call edge, the documented soundness hole.
+func dynamic(n int) int {
+	fns := []func(int) int{ping, pong}
+	return fns[n%2](n)
+}
+
+// isolated is reachable from nothing in this package.
+func isolated() {}

@@ -1,0 +1,115 @@
+// Package detflow is the golden fixture for the interprocedural
+// determinism-taint analyzer: forbidden sources reached through call
+// chains from //sim:entry roots, interface dispatch, function-value
+// references, //sim:io boundaries, and map-order leaks.
+package detflow
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Drive is a simulation entry point; everything it reaches must be
+// deterministic.
+//
+//sim:entry
+func Drive() {
+	step()
+	logProgress()
+	var s stepper = machine{}
+	s.tick()
+	spawn(hook)
+}
+
+// step sits one hop from the entry: the taint walk follows it into both
+// the clock helper and the map-order leak.
+func step() {
+	readClock()
+	_ = keys(map[int]int{1: 1})
+}
+
+// readClock hides a wall-clock read behind a file-local allow: the
+// call-site analyzer is silenced, the interprocedural walk is not.
+func readClock() time.Time {
+	//lint:allow nowallclock fixture: stands in for ad-hoc progress timing
+	return time.Now() // want `readClock reaches time\.Now \(wall-clock time\) inside the deterministic region \(via detflow\.Drive -> detflow\.step -> detflow\.readClock\)`
+}
+
+// logProgress is a sanctioned exit from simulation code: the walk stops
+// at the boundary, so the clock read inside is not reported.
+//
+//sim:io fixture: operator progress output, never folded into results
+func logProgress() {
+	//lint:allow nowallclock operator progress output, not a simulation result
+	fmt.Println("t =", time.Now())
+}
+
+// stepper dispatches through an interface: detflow conservatively links
+// the call to every same-name, same-signature concrete method.
+type stepper interface{ tick() }
+
+// machine draws from the global math/rand state: flagged through the
+// interface edge.
+type machine struct{}
+
+func (machine) tick() {
+	//lint:allow seedflow fixture: stands in for an unseeded global draw
+	_ = rand.Int() // want `tick reaches math/rand\.Int \(global math/rand state\) inside the deterministic region`
+}
+
+// idler is a clean implementor on the same interface: dispatch
+// over-approximation visits it and finds nothing.
+type idler struct{}
+
+func (idler) tick() {}
+
+// spawn calls its argument through a func value — an edge the graph
+// cannot see — but the reference that reaches it is tracked.
+func spawn(f func()) { f() }
+
+// hook is only ever passed as a value; the EdgeRef from Drive still
+// pulls it into the deterministic region.
+func hook() {
+	//lint:allow nowallclock fixture: stands in for a sizing heuristic
+	_ = runtime.NumCPU() // want `hook reaches runtime\.NumCPU \(machine-dependent CPU count\) inside the deterministic region`
+}
+
+// keys leaks map iteration order into its result: flagged by maporder at
+// the append (file-local) and by detflow at the range (with the entry
+// path that makes it a reproducibility bug, not a style nit).
+func keys(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `detflow\.keys ranges over a map and accumulates elements in iteration order inside the deterministic region`
+		out = append(out, k) // want `appending to out while ranging over a map`
+	}
+	return out
+}
+
+// Replay is a second, disjoint entry: environment reads taint its tree.
+//
+//sim:entry
+func Replay() { tune() }
+
+// tune reads a tuning knob from the environment: replay on another
+// machine would silently simulate a different system.
+func tune() {
+	//lint:allow nowallclock fixture: stands in for an ops knob
+	_ = os.Getenv("SIM_TUNE") // want `tune reaches os\.Getenv \(environment variable\) inside the deterministic region \(via detflow\.Replay -> detflow\.tune\)`
+}
+
+// Offline is not an entry and not reachable from one: its clock read is
+// the file-local analyzer's business alone.
+func Offline() time.Time {
+	//lint:allow nowallclock fixture: outside every entry tree
+	return time.Now()
+}
+
+// Contradictory carries both directives: an entry cannot be its own
+// exit boundary.
+//
+//sim:entry
+//sim:io fixture: contradictory on purpose
+func Contradictory() {} // want `marked both //sim:entry and //sim:io`

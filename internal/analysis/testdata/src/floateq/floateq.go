@@ -56,3 +56,70 @@ func suppressedAbove(a, b float64) bool {
 func suppressedSameLine(a, b float64) bool {
 	return a == b //lint:allow floateq fixture exercises same-line suppression
 }
+
+// slowdown is a named float type: the underlying kind is what compares,
+// so naming it buys no exemption.
+type slowdown float64
+
+// namedEqual compares named floats exactly: flagged like the builtin.
+func namedEqual(a, b slowdown) bool {
+	return a == b // want `floating-point == is exact and brittle`
+}
+
+// mixedNamed compares a named float against its underlying type through
+// a conversion: still float equality.
+func mixedNamed(a slowdown, b float64) bool {
+	return a == slowdown(b) // want `floating-point == is exact and brittle`
+}
+
+// switchDispatch dispatches on a float tag: every case arm is an exact
+// equality in disguise.
+func switchDispatch(load float64) int {
+	switch load {
+	case 0.5: // want `switch case compares floats exactly`
+		return 1
+	case 1.0: // want `switch case compares floats exactly`
+		return 2
+	}
+	return 0
+}
+
+// switchNamed dispatches on a named float: flagged the same way.
+func switchNamed(s slowdown) int {
+	switch s {
+	case 2.5: // want `switch case compares floats exactly`
+		return 1
+	}
+	return 0
+}
+
+// switchZeroSentinel keeps the constant-zero exemption: a float is
+// exactly zero iff nothing nonzero reached it.
+func switchZeroSentinel(load float64) int {
+	switch load {
+	case 0:
+		return 1
+	}
+	return 0
+}
+
+// switchInt dispatches on an integer — not this analyzer's business.
+func switchInt(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// switchTagless has no tag; its boolean arms are plain binary
+// expressions, caught (or exempted) by the binary-expression rule.
+func switchTagless(a, b float64) int {
+	switch {
+	case a == b: // want `floating-point == is exact and brittle`
+		return 1
+	case a == 0:
+		return 2
+	}
+	return 0
+}

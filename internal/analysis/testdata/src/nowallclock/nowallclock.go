@@ -2,7 +2,11 @@
 // analyzer: wall-clock reads are forbidden in simulation code.
 package nowallclock
 
-import "time"
+import (
+	"os"
+	"runtime"
+	"time"
+)
 
 // stamp reads the wall clock: flagged.
 func stamp() time.Time {
@@ -34,4 +38,37 @@ func scale(d time.Duration) time.Duration {
 func progress() time.Time {
 	//lint:allow nowallclock operator progress output, not a simulation result
 	return time.Now()
+}
+
+// clockValue stores time.Now as a function value — a wall clock on a
+// delay line, flagged like the call.
+func clockValue() func() time.Time {
+	return time.Now // want `time\.Now referenced as a value`
+}
+
+// zoned reads the host timezone database: flagged.
+func zoned() {
+	_, _ = time.LoadLocation("UTC") // want `time\.LoadLocation reads the wall clock`
+}
+
+// sized reads the machine's CPU count: machine-dependent, flagged.
+func sized() int {
+	return runtime.NumCPU() // want `runtime\.NumCPU reads the wall clock or the machine`
+}
+
+// tuned reads the process environment: machine-dependent, flagged.
+func tuned() string {
+	return os.Getenv("SIM_KNOB") // want `os\.Getenv reads the wall clock or the machine`
+}
+
+// envValue smuggles os.Getenv as a value: flagged like the call.
+func envValue() func(string) string {
+	return os.Getenv // want `os\.Getenv referenced as a value`
+}
+
+// gomaxprocs is deliberately legal here: worker-pool sizing never
+// reaches simulation output (detflow still forbids it inside //sim:entry
+// call trees).
+func gomaxprocs() int {
+	return runtime.GOMAXPROCS(0)
 }

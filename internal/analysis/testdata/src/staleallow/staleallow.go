@@ -1,0 +1,23 @@
+// Package staleallow is the fixture for the stale-suppression check: a
+// //lint:allow that no longer suppresses anything must itself be
+// reported, so the allowlist cannot rot as analyzers and code evolve.
+// The driver test asserts the diagnostics directly (a want comment
+// cannot share a line with the directive it describes).
+package staleallow
+
+import "time"
+
+// used carries a directive that still suppresses a live finding: not
+// reported.
+func used() time.Time {
+	//lint:allow nowallclock fixture: a genuinely suppressed wall-clock read
+	return time.Now()
+}
+
+// stale carries a directive with nothing left to suppress — the line it
+// guards does arithmetic on values already held, which nowallclock never
+// flagged.
+func stale(a, b time.Time) time.Duration {
+	//lint:allow nowallclock fixture: the violation this guarded was refactored away
+	return b.Sub(a)
+}

@@ -49,7 +49,6 @@ func ProfileNames() []string {
 // CheckLoad validates a system load: it must lie strictly inside (0, 1),
 // the open interval where every queueing formula and simulation is stable.
 func CheckLoad(load float64) error {
-	//lint:allow floateq boundary check against exact flag values, not computed floats
 	if !(load > 0 && load < 1) {
 		return fmt.Errorf("load must be in (0,1), got %v", load)
 	}

@@ -99,6 +99,8 @@ func (t *Tree) better(a, b int32) int32 {
 
 // Update sets host i's key and replays its matches up the tree. NaN keys
 // panic: they have no total order and would corrupt every match above.
+//
+//sim:noalloc
 func (t *Tree) Update(i int, key float64) {
 	if math.IsNaN(key) {
 		panic(fmt.Sprintf("hostindex: NaN key for host %d", i))
@@ -112,6 +114,8 @@ func (t *Tree) Update(i int, key float64) {
 // Min reports the host with the lexicographically least (key, id) and its
 // key. When every key is +Inf the lowest id wins and the key reports the
 // absence.
+//
+//sim:noalloc
 func (t *Tree) Min() (int, float64) {
 	w := t.win[1]
 	return int(w), t.key[w]
@@ -120,6 +124,8 @@ func (t *Tree) Min() (int, float64) {
 // RangeMin reports the argmin over hosts lo <= i < hi and its key.
 // Panics if the range is empty or out of bounds: the caller owns range
 // validity (policies validate their group bounds).
+//
+//sim:noalloc
 func (t *Tree) RangeMin(lo, hi int) (int, float64) {
 	if lo < 0 || hi > t.n || lo >= hi {
 		panic(fmt.Sprintf("hostindex: range [%d, %d) invalid for %d hosts", lo, hi, t.n))
@@ -191,6 +197,8 @@ func (s *BitSet) Clear(i int) { s.w[i>>6] &^= 1 << (uint(i) & 63) }
 func (s *BitSet) Get(i int) bool { return s.w[i>>6]&(1<<(uint(i)&63)) != 0 }
 
 // Min reports the lowest marked host, or -1 when the set is empty.
+//
+//sim:noalloc
 func (s *BitSet) Min() int {
 	for wi, w := range s.w {
 		if w != 0 {
@@ -202,6 +210,8 @@ func (s *BitSet) Min() int {
 
 // MinInRange reports the lowest marked host in [lo, hi), or -1.
 // Panics if the range is empty or out of bounds.
+//
+//sim:noalloc
 func (s *BitSet) MinInRange(lo, hi int) int {
 	if lo < 0 || hi > s.n || lo >= hi {
 		panic(fmt.Sprintf("hostindex: range [%d, %d) invalid for %d hosts", lo, hi, s.n))
@@ -253,12 +263,16 @@ func (m *TimedMin) Reset(h int) {
 func (m *TimedMin) Len() int { return m.tree.Len() }
 
 // SetKey gives host i a live drain instant.
+//
+//sim:noalloc
 func (m *TimedMin) SetKey(i int, key float64) {
 	m.zero.Clear(i)
 	m.tree.Update(i, key)
 }
 
 // SetZero moves host i to the drained class.
+//
+//sim:noalloc
 func (m *TimedMin) SetZero(i int) {
 	m.tree.Update(i, math.Inf(1))
 	m.zero.Set(i)
@@ -284,6 +298,8 @@ func (m *TimedMin) sweep(now float64) {
 
 // ArgMin reports the host a lowest-index-wins linear scan over the
 // clamped keys would pick at the query instant.
+//
+//sim:noalloc
 func (m *TimedMin) ArgMin(now float64) int {
 	m.sweep(now)
 	if z := m.zero.Min(); z >= 0 {
@@ -295,6 +311,8 @@ func (m *TimedMin) ArgMin(now float64) int {
 
 // ArgMinRange is ArgMin restricted to hosts lo <= i < hi.
 // Panics if the range is empty or out of bounds.
+//
+//sim:noalloc
 func (m *TimedMin) ArgMinRange(lo, hi int, now float64) int {
 	m.sweep(now)
 	if z := m.zero.MinInRange(lo, hi); z >= 0 {

@@ -36,6 +36,8 @@ type psHost struct {
 }
 
 // advance charges elapsed processing time to every resident job.
+//
+//sim:noalloc
 func (h *psHost) advance(now float64) {
 	if len(h.jobs) > 0 {
 		each := (now - h.lastUpdate) / float64(len(h.jobs))
@@ -49,6 +51,8 @@ func (h *psHost) advance(now float64) {
 // reschedule cancels any pending completion and schedules the next one as
 // a typed event — canceling and rescheduling recycles the engine's slot
 // arena, so the churn of PS arrivals never allocates.
+//
+//sim:noalloc
 func (h *psHost) reschedule(now float64) {
 	h.pending.Cancel()
 	if len(h.jobs) == 0 {
@@ -74,6 +78,8 @@ func (h *psHost) reschedule(now float64) {
 // minimum (rather than an absolute epsilon) avoids a livelock when the
 // remaining sliver is smaller than the clock's ulp and virtual time can no
 // longer advance.
+//
+//sim:noalloc
 func (h *psHost) complete(now float64) {
 	h.advance(now)
 	if len(h.jobs) == 0 {
@@ -104,7 +110,7 @@ func (h *psHost) complete(now float64) {
 				h.onDone(rec)
 			}
 		} else {
-			kept = append(kept, pj)
+			kept = append(kept, pj) //lint:allow allocfree kept reuses jobs' backing array (kept := h.jobs[:0]); never grows
 		}
 	}
 	h.jobs = kept
@@ -112,9 +118,11 @@ func (h *psHost) complete(now float64) {
 }
 
 // add admits a job at the current instant.
+//
+//sim:noalloc
 func (h *psHost) add(job workload.Job, now float64) {
 	h.advance(now)
-	h.jobs = append(h.jobs, psJob{job: job, remaining: job.Size})
+	h.jobs = append(h.jobs, psJob{job: job, remaining: job.Size}) //lint:allow allocfree backing array grows to the high-water job count, then recycles
 	h.reschedule(now)
 }
 
@@ -207,6 +215,7 @@ func (s *PSSystem) MinWorkHostIn(lo, hi int) int {
 	return s.minWorkIn(lo, hi)
 }
 
+//sim:noalloc
 func (s *PSSystem) minWorkIn(lo, hi int) int {
 	best, bestW := lo, s.WorkLeft(lo)
 	for i := lo + 1; i < hi; i++ {
@@ -218,7 +227,9 @@ func (s *PSSystem) minWorkIn(lo, hi int) int {
 }
 
 // MinJobsHost reports the host with the fewest resident jobs, ties to the
-// lowest index, from a lazily built incremental index.
+// lowest index, from a lazily built incremental index. The first call
+// allocates the index (so no //sim:noalloc here); steady state is
+// allocation-free through the annotated Tree.Update path.
 func (s *PSSystem) MinJobsHost() int {
 	if !s.jobsOn {
 		s.jobsIdx.Reset(len(s.hosts))
@@ -276,6 +287,8 @@ func (s *PSSystem) feedNextArrival() {
 
 // HandleEvent dispatches the engine's typed events.
 // Panics if the policy routes a job outside the host range.
+//
+//sim:noalloc
 func (s *PSSystem) HandleEvent(now float64, ev sim.Ev) {
 	switch ev.Kind {
 	case evPSArrival:
@@ -297,6 +310,8 @@ func (s *PSSystem) HandleEvent(now float64, ev sim.Ev) {
 // A record's Wait is the sharing-induced stretch (response minus size), so
 // Wait + Size = Response holds exactly as under FCFS.
 // Panics if cfg.Hosts <= 0 or cfg.WarmupFraction is outside [0, 1).
+//
+//sim:entry
 func RunPS(jobs []workload.Job, cfg Config) *Result {
 	if cfg.Hosts <= 0 {
 		panic(fmt.Sprintf("server: config needs hosts > 0, got %d", cfg.Hosts))

@@ -126,6 +126,8 @@ func (r *Result) Utilization(i int) float64 {
 // written (it is copied first when renumbering is needed), so callers may
 // share one job list across concurrent runs.
 // Panics if cfg.Hosts <= 0 or cfg.WarmupFraction is outside [0, 1).
+//
+//sim:entry
 func Run(jobs []workload.Job, cfg Config) *Result {
 	if cfg.Hosts <= 0 {
 		panic(fmt.Sprintf("server: config needs hosts > 0, got %d", cfg.Hosts))

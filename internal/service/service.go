@@ -288,7 +288,6 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetEscapeHTML(false) // keep ">=" etc. readable in error messages
-	//lint:allow maporder single-key literal, order is fixed
 	enc.Encode(map[string]string{"error": msg})
 	w.Write(buf.Bytes())
 }

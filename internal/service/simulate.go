@@ -60,7 +60,6 @@ func (q SimRequest) normalize(maxJobs int) (SimRequest, error) {
 		q.Seed = 1
 	}
 	switch {
-	//lint:allow floateq sentinel check against the exact JSON zero value, not a computed float
 	case q.Warmup == 0:
 		q.Warmup = 0.1
 	//lint:allow floateq sentinel check against the exact literal -1, not a computed float

@@ -186,6 +186,8 @@ func (e *Engine) siftDown(i int) {
 }
 
 // popTop removes the heap minimum (the caller reads events[0] first).
+//
+//sim:noalloc
 func (e *Engine) popTop() {
 	n := len(e.events) - 1
 	e.events[0] = e.events[n]
@@ -202,7 +204,7 @@ func (e *Engine) allocSlot() int32 {
 		e.free = e.free[:n-1]
 		return id
 	}
-	e.slots = append(e.slots, slot{})
+	e.slots = append(e.slots, slot{}) //lint:allow allocfree arena grows to the high-water event count, then the freelist recycles
 	return int32(len(e.slots) - 1)
 }
 
@@ -214,11 +216,13 @@ func (e *Engine) freeSlot(id int32) {
 	s.canceled = false
 	s.ev = Ev{}
 	s.fn = nil
-	e.free = append(e.free, id)
+	e.free = append(e.free, id) //lint:allow allocfree freelist capacity tracks the arena; append never outgrows it in steady state
 }
 
 // push schedules one event value.
 // Panics if t is before the current virtual time: it is always a model bug.
+//
+//sim:noalloc
 func (e *Engine) push(t float64, seq uint64, ev Ev, fn Event) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
@@ -227,7 +231,7 @@ func (e *Engine) push(t float64, seq uint64, ev Ev, fn Event) Handle {
 	s := &e.slots[id]
 	s.ev = ev
 	s.fn = fn
-	e.events = append(e.events, entry{at: t, seq: seq, id: id})
+	e.events = append(e.events, entry{at: t, seq: seq, id: id}) //lint:allow allocfree heap grows to the high-water event count, then reuses capacity
 	e.siftUp(len(e.events) - 1)
 	e.live++
 	return Handle{e: e, id: id, gen: s.gen}
@@ -321,6 +325,8 @@ func (e *Engine) Interrupted() bool { return e.interrupted }
 
 // Run executes events in time order until the queue drains or Stop is
 // called.
+//
+//sim:entry
 func (e *Engine) Run() {
 	e.RunUntil(-1)
 }
@@ -329,6 +335,9 @@ func (e *Engine) Run() {
 // horizon < 0). The clock advances to each event's time; if the queue
 // drains earlier the clock stays at the last event. Panics (from the
 // dispatch path) if a typed event fires with no Handler installed.
+//
+//sim:entry
+//sim:noalloc
 func (e *Engine) RunUntil(horizon float64) {
 	e.stopped = false
 	e.interrupted = false
@@ -354,6 +363,8 @@ func (e *Engine) RunUntil(horizon float64) {
 
 // Step executes exactly one non-canceled event, reporting whether one was
 // available.
+//
+//sim:noalloc
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		top := e.events[0]

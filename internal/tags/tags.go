@@ -180,6 +180,8 @@ func (t *tagsSim) done(h int, job workload.Job, now float64) {
 // host never kills). Jobs must be sorted by arrival time. warmup is the
 // fraction of jobs (by arrival order) excluded from delay statistics.
 // Panics if the cutoffs do not ascend or the jobs are unsorted.
+//
+//sim:entry
 func Simulate(jobs []workload.Job, cutoffs []float64, warmup float64) *Result {
 	if !sort.Float64sAreSorted(cutoffs) {
 		panic(fmt.Sprintf("tags: cutoffs must ascend, got %v", cutoffs))
