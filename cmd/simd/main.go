@@ -36,14 +36,17 @@ import (
 
 	"sita/internal/catalog"
 	"sita/internal/service"
+	"sita/internal/streamcache"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		sims    = flag.Int("sims", runtime.GOMAXPROCS(0), "max concurrently executing simulations")
-		queue   = flag.Int("queue", 64, "max requests waiting for a simulation slot before 429")
-		cacheMB = flag.Int("cache-mb", 64, "response cache bound in MiB (0 disables caching)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		sims     = flag.Int("sims", runtime.GOMAXPROCS(0), "max concurrently executing simulations")
+		queue    = flag.Int("queue", 64, "max requests waiting for a simulation slot before 429")
+		cacheMB  = flag.Int("cache-mb", 64, "response cache bound in MiB (0 disables caching)")
+		streamMB = flag.Int("stream-cache-mb", streamcache.DefaultMaxBytes>>20,
+			"job-stream cache bound in MiB (0 disables stream sharing; results are identical either way)")
 		maxJobs = flag.Int("max-jobs", 2_000_000, "largest per-request job count accepted")
 		timeout = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 		maxTO   = flag.Duration("max-timeout", 120*time.Second, "ceiling on requested deadlines")
@@ -63,6 +66,10 @@ func main() {
 	if *maxJobs < 1 {
 		fatal(fmt.Errorf("-max-jobs must be >= 1, got %d", *maxJobs))
 	}
+	if *streamMB < 0 {
+		fatal(fmt.Errorf("-stream-cache-mb must be >= 0, got %d", *streamMB))
+	}
+	streamcache.Shared.SetMaxBytes(int64(*streamMB) << 20)
 
 	cfg := service.Config{
 		MaxConcurrent:  *sims,

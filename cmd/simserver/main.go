@@ -25,6 +25,7 @@ import (
 	"sita/internal/profiling"
 	"sita/internal/runner"
 	"sita/internal/server"
+	"sita/internal/streamcache"
 )
 
 func main() {
@@ -84,9 +85,11 @@ func main() {
 		fatal(err)
 	}
 	if *jobs > 0 && *jobs < wl.Trace.Len() {
-		wl.Trace.Jobs = wl.Trace.Jobs[:*jobs]
+		// Truncate derives a child trace with its own cache identity;
+		// slicing Jobs in place would desynchronize the precomputed mean.
+		wl.Trace = wl.Trace.Truncate(*jobs)
 	}
-	jobList := wl.JobsAtLoad(*load, *hosts, !*bursty, *seed)
+	jobList := streamcache.Shared.JobsAtLoad(wl.Trace, *load, *hosts, !*bursty, *seed)
 
 	names := []string{*policyName}
 	if *policyName == "all" {

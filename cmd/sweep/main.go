@@ -33,6 +33,7 @@ import (
 	"sita/internal/experiment"
 	"sita/internal/profiling"
 	"sita/internal/runner"
+	"sita/internal/streamcache"
 	"sita/internal/trace"
 )
 
@@ -52,6 +53,8 @@ func main() {
 		progress = flag.Bool("progress", false, "report per-experiment cell progress on stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on successful exit")
+		cacheMiB = flag.Int("stream-cache", streamcache.DefaultMaxBytes>>20,
+			"job-stream cache budget in MiB (0 disables caching; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -81,6 +84,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 		}
 	}()
+
+	if *cacheMiB < 0 {
+		fatal(fmt.Errorf("-stream-cache must be >= 0 MiB, got %d", *cacheMiB))
+	}
+	streamcache.Shared.SetMaxBytes(int64(*cacheMiB) << 20)
 
 	cfg := experiment.Default()
 	p, err := trace.ByName(*profile)

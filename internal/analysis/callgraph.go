@@ -97,6 +97,7 @@ type CGNode struct {
 	NoAlloc  bool   // //sim:noalloc
 	IO       bool   // //sim:io
 	IOReason string // the mandatory //sim:io reason
+	ReadOnly bool   // //sim:readonly — job-slice inputs are never mutated
 }
 
 // Method reports whether the node is a method (has a receiver).
@@ -344,7 +345,7 @@ func parseSimDirectives(pkg *Package, fn *ast.FuncDecl, n *CGNode, diags *[]Diag
 		rest := strings.TrimPrefix(c.Text, SimPrefix)
 		fields := strings.Fields(rest)
 		if len(fields) == 0 {
-			bad(c.Pos(), "malformed %s directive: need a verb (entry, io, noalloc)", SimPrefix)
+			bad(c.Pos(), "malformed %s directive: need a verb (entry, io, noalloc, readonly)", SimPrefix)
 			continue
 		}
 		switch fields[0] {
@@ -359,8 +360,12 @@ func parseSimDirectives(pkg *Package, fn *ast.FuncDecl, n *CGNode, diags *[]Diag
 			}
 			n.IO = true
 			n.IOReason = strings.Join(fields[1:], " ")
+		case "readonly":
+			// Optional trailing fields name the read-only parameters for
+			// the reader; the analyzer checks every job slice regardless.
+			n.ReadOnly = true
 		default:
-			bad(c.Pos(), "%s%s is not a contract directive (want entry, io, or noalloc)", SimPrefix, fields[0])
+			bad(c.Pos(), "%s%s is not a contract directive (want entry, io, noalloc, or readonly)", SimPrefix, fields[0])
 		}
 	}
 }

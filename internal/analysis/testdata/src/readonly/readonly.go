@@ -1,0 +1,77 @@
+// Package readonly is the golden fixture for the //sim:readonly contract
+// analyzer: job-slice mutations in annotated functions and their static
+// callees, the copy-first exemption for locally allocated slices, and the
+// //lint:allow escape hatch.
+package readonly
+
+// Job mirrors the module's sim.Job shape; the analyzer matches job slices
+// by element type name so fixtures need not import the real package.
+type Job struct {
+	ID      int
+	Arrival float64
+	Size    float64
+}
+
+// Result is a stand-in for the simulation result type.
+type Result struct{ completed int }
+
+// Run is an annotated entry point: its own body and everything it
+// statically reaches must leave the input slice untouched.
+//
+//sim:readonly jobs
+func Run(jobs []Job) *Result {
+	jobs[0].ID = 7 // want `readonly\.Run writes a job-slice element inside a //sim:readonly region`
+	jobs[1].Size++ // want `readonly\.Run writes a job-slice element inside a //sim:readonly region`
+
+	// The copy-first idiom is exempt: renumbered aliases no caller memory.
+	renumbered := make([]Job, len(jobs))
+	copy(renumbered, jobs)
+	for i := range renumbered {
+		renumbered[i].ID = i
+	}
+
+	var scratch []Job
+	scratch = append(scratch, jobs...)
+	scratch[0].Size = 1
+
+	mutateHelper(jobs)
+	return simulate(renumbered)
+}
+
+// mutateHelper is reached from Run, so the contract applies without its
+// own annotation, and the diagnostic carries the chain.
+func mutateHelper(js []Job) {
+	js[0].Size = 2 // want `readonly\.mutateHelper writes a job-slice element inside a //sim:readonly region \(readonly via readonly\.Run -> readonly\.mutateHelper\)`
+}
+
+// simulate sneaks shared-capacity writes in through append and copy.
+func simulate(js []Job) *Result {
+	js = append(js, Job{}) // want `readonly\.simulate appends to a job slice inside a //sim:readonly region`
+	copy(js, js[1:])       // want `readonly\.simulate copies into a job slice inside a //sim:readonly region`
+	return &Result{completed: len(js)}
+}
+
+// Rebind loses the local exemption when a locally allocated variable is
+// rebound to caller memory.
+//
+//sim:readonly jobs
+func Rebind(jobs []Job) {
+	buf := make([]Job, 1)
+	buf = jobs
+	buf[0].ID = 1 // want `readonly\.Rebind writes a job-slice element inside a //sim:readonly region`
+}
+
+// Sanctioned documents a deliberate exception with the shared suppression
+// mechanism.
+//
+//sim:readonly jobs
+func Sanctioned(jobs []Job) {
+	jobs[0].ID = 0 //lint:allow readonly fixture demonstrates the documented escape hatch
+}
+
+// Unannotated is unreachable from any annotated function: it may mutate
+// freely.
+func Unannotated(jobs []Job) {
+	jobs[0].ID = 99
+	jobs = append(jobs, Job{})
+}

@@ -5,6 +5,7 @@ import (
 	"sita/internal/policy"
 	"sita/internal/runner"
 	"sita/internal/server"
+	"sita/internal/streamcache"
 )
 
 // DerivationProtocol follows section 4.1's evaluation protocol to the
@@ -49,12 +50,12 @@ func DerivationProtocol(cfg Config) ([]Table, error) {
 		if err != nil {
 			return outcome{}, nil
 		}
-		deriveJobs := derive.JobsAtLoad(cl.load, 2, true, cfg.Seed)
+		deriveJobs := streamcache.Shared.JobsAtLoad(derive, cl.load, 2, true, cfg.Seed)
 		experimental, err := core.ExperimentalCutoff(cl.variant, deriveJobs, size, 16)
 		if err != nil {
 			return outcome{}, nil
 		}
-		evalJobs := evaluate.JobsAtLoad(cl.load, 2, true, cfg.Seed+1)
+		evalJobs := streamcache.Shared.JobsAtLoad(evaluate, cl.load, 2, true, cfg.Seed+1)
 		perfs := [2]float64{}
 		for i, cut := range []float64{analytic, experimental} {
 			res := server.Run(evalJobs, server.Config{

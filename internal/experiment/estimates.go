@@ -5,6 +5,7 @@ import (
 	"sita/internal/policy"
 	"sita/internal/server"
 	"sita/internal/sim"
+	"sita/internal/streamcache"
 )
 
 // EstimateNoise sweeps the quality of user runtime estimates (lognormal
@@ -23,7 +24,7 @@ func EstimateNoise(cfg Config) ([]Table, error) {
 		return nil, err
 	}
 	size := cfg.Profile.MustSizeDist()
-	jobs := tr.JobsAtLoad(load, 2, true, cfg.Seed)
+	jobs := streamcache.Shared.JobsAtLoad(tr, load, 2, true, cfg.Seed)
 	fair, err := core.NewDesign(core.SITAUFair, load, size, 2)
 	if err != nil {
 		return nil, err

@@ -27,6 +27,7 @@ import (
 	"sita/internal/runner"
 	"sita/internal/server"
 	"sita/internal/sim"
+	"sita/internal/streamcache"
 	"sita/internal/trace"
 )
 
@@ -214,7 +215,7 @@ func (c Config) simSweep(id, title string, hosts int, specs []policySpec, poisso
 			// paper's plots.
 			return outcome{}, nil
 		}
-		jobs := tr.JobsAtLoad(cl.load, hosts, poisson, c.jobSeed(cl.load))
+		jobs := streamcache.Shared.JobsAtLoad(tr, cl.load, hosts, poisson, c.jobSeed(cl.load))
 		res := server.Run(jobs, server.Config{
 			Hosts:          hosts,
 			Policy:         p,
@@ -235,26 +236,12 @@ func (c Config) simSweep(id, title string, hosts int, specs []policySpec, poisso
 	return []Table{*mean, *vari}, nil
 }
 
-// statsCache memoizes ComputeStats for cached traces (keyed by the shared
-// trace pointer): the statistic is pure, and its sorted-copy allocation is
-// the Table 1 driver's only remaining per-run cost.
-var (
-	statsCacheMu sync.Mutex
-	statsCache   = map[*trace.Trace]trace.Stats{}
-)
-
+// traceStats memoizes ComputeStats through the stream cache's
+// identity-keyed memo: the statistic is pure, and identity keying (unlike
+// the pointer keying this replaces) shares the entry across regenerations
+// of the same recipe and can never alias a recycled pointer.
 func traceStats(tr *trace.Trace) trace.Stats {
-	statsCacheMu.Lock()
-	st, ok := statsCache[tr]
-	statsCacheMu.Unlock()
-	if ok {
-		return st
-	}
-	st = tr.ComputeStats()
-	statsCacheMu.Lock()
-	statsCache[tr] = st
-	statsCacheMu.Unlock()
-	return st
+	return streamcache.Shared.TraceStats(tr)
 }
 
 // Table1 regenerates the trace characterization table for all three
@@ -368,7 +355,7 @@ func Figure6(cfg Config) ([]Table, error) {
 		}
 		// The job stream depends on the host count only, so every policy at
 		// a host count is measured on the same arrivals.
-		jobs := tr.JobsAtLoad(load, cl.hosts, true, cfg.Seed+uint64(cl.hosts))
+		jobs := streamcache.Shared.JobsAtLoad(tr, load, cl.hosts, true, cfg.Seed+uint64(cl.hosts))
 		res := server.Run(jobs, server.Config{Hosts: cl.hosts, Policy: p, WarmupFraction: cfg.Warmup})
 		return outcome{true, res.Slowdown.Mean()}, nil
 	})

@@ -11,6 +11,7 @@ import (
 	"sita/internal/server"
 	"sita/internal/sim"
 	"sita/internal/stats"
+	"sita/internal/streamcache"
 	"sita/internal/workload"
 )
 
@@ -71,7 +72,7 @@ func Misclassification(cfg Config) ([]Table, error) {
 	}
 	t := NewTable("misclassification", "SITA-U-fair under user misclassification, load 0.7 (simulation)",
 		"misclassification probability", "mean slowdown")
-	jobs := tr.JobsAtLoad(load, 2, true, cfg.Seed)
+	jobs := streamcache.Shared.JobsAtLoad(tr, load, 2, true, cfg.Seed)
 	modes := []struct {
 		name string
 		mode policy.MisclassifyMode
@@ -212,7 +213,7 @@ func MultiCutoffAblation(cfg Config) ([]Table, error) {
 			}
 			pol = policy.NewSITA("SITA-E-multi", cuts)
 		}
-		jobs := tr.JobsAtLoad(load, cl.hosts, true, cfg.Seed+uint64(cl.hosts))
+		jobs := streamcache.Shared.JobsAtLoad(tr, load, cl.hosts, true, cfg.Seed+uint64(cl.hosts))
 		res := server.Run(jobs, server.Config{Hosts: cl.hosts, Policy: pol, WarmupFraction: cfg.Warmup})
 		return outcome{true, res.Slowdown.Mean()}, nil
 	})
@@ -243,7 +244,7 @@ func FairnessProfile(cfg Config) ([]Table, error) {
 	for i := range bounds {
 		bounds[i] = size.Quantile(float64(i+1) / 10)
 	}
-	jobs := tr.JobsAtLoad(load, 2, true, cfg.Seed)
+	jobs := streamcache.Shared.JobsAtLoad(tr, load, 2, true, cfg.Seed)
 	t := NewTable("fairness-profile", "Mean slowdown by job-size decile, load 0.7 (simulation)",
 		"size decile (1=smallest)", "mean slowdown")
 	// One cell per policy plus the Processor-Sharing reference (footnote

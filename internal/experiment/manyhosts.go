@@ -3,6 +3,7 @@ package experiment
 import (
 	"sita/internal/runner"
 	"sita/internal/server"
+	"sita/internal/streamcache"
 )
 
 // ManyHosts sweeps the host count far past the paper's Figure 6 range —
@@ -48,7 +49,7 @@ func ManyHosts(cfg Config) ([]Table, error) {
 		if err != nil {
 			return outcome{}, nil
 		}
-		jobs := tr.JobsAtLoad(load, cl.hosts, true, cfg.Seed+uint64(cl.hosts))
+		jobs := streamcache.Shared.JobsAtLoad(tr, load, cl.hosts, true, cfg.Seed+uint64(cl.hosts))
 		res := server.Run(jobs, server.Config{Hosts: cl.hosts, Policy: p, WarmupFraction: cfg.Warmup})
 		return outcome{true, res.Slowdown.Mean()}, nil
 	})

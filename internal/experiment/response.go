@@ -4,6 +4,7 @@ import (
 	"sita/internal/core"
 	"sita/internal/runner"
 	"sita/internal/server"
+	"sita/internal/streamcache"
 )
 
 // ResponseTime reports mean response time (seconds) per policy across the
@@ -42,7 +43,7 @@ func ResponseTime(cfg Config) ([]Table, error) {
 		if err != nil {
 			return outcome{}, nil
 		}
-		jobs := tr.JobsAtLoad(cl.load, hosts, true, cfg.Seed)
+		jobs := streamcache.Shared.JobsAtLoad(tr, cl.load, hosts, true, cfg.Seed)
 		res := server.Run(jobs, server.Config{Hosts: hosts, Policy: p, WarmupFraction: cfg.Warmup})
 		return outcome{true, res.Response.Mean(), res.Response.Variance()}, nil
 	})

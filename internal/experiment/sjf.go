@@ -4,6 +4,7 @@ import (
 	"sita/internal/core"
 	"sita/internal/policy"
 	"sita/internal/server"
+	"sita/internal/streamcache"
 )
 
 // SJFComparison quantifies the paper's concluding discussion: favoring
@@ -28,7 +29,7 @@ func SJFComparison(cfg Config) ([]Table, error) {
 		"system load", "max slowdown")
 	const hosts = 2
 	for _, load := range cfg.Loads {
-		jobs := tr.JobsAtLoad(load, hosts, true, cfg.Seed)
+		jobs := streamcache.Shared.JobsAtLoad(tr, load, hosts, true, cfg.Seed)
 		fair, err := core.NewDesign(core.SITAUFair, load, size, hosts)
 		if err != nil {
 			continue

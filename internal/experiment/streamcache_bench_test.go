@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"testing"
+
+	"sita/internal/streamcache"
+)
+
+// BenchmarkSweepStreamCache prices a multi-policy figure sweep with the
+// stream cache in its two modes, in the same binary: "bypassed" is the
+// pre-cache behavior (every (policy, load) cell regenerates its job
+// stream), "cached" generates each load point's stream once and shares it
+// across the policy fanout. Figure 10 is the representative driver: a
+// plain simSweep over the full policy set, so the stream-generation share
+// of its runtime is typical of the result-regenerating sweeps.
+func BenchmarkSweepStreamCache(b *testing.B) {
+	cfg := Default()
+	cfg.Jobs = 20000
+	for _, mode := range []struct {
+		name   string
+		bypass bool
+	}{
+		{"bypassed", true},
+		{"cached", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			streamcache.Shared.SetBypass(mode.bypass)
+			defer streamcache.Shared.SetBypass(false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tables, err := Figure10(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(tables) == 0 {
+					b.Fatal("no output tables")
+				}
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sita/internal/policy"
 	"sita/internal/runner"
 	"sita/internal/server"
+	"sita/internal/streamcache"
 	"sita/internal/tags"
 )
 
@@ -43,7 +44,7 @@ func TAGSComparison(cfg Config) ([]Table, error) {
 		wasteTracked bool
 	}
 	outs, err := runner.MapOpts(cfg.pool(), cells, func(_ int, cl cell) (outcome, error) {
-		jobs := tr.JobsAtLoad(cl.load, hosts, true, cfg.Seed)
+		jobs := streamcache.Shared.JobsAtLoad(tr, cl.load, hosts, true, cfg.Seed)
 		if cl.spec == nil {
 			// TAGS with analytically optimized kill cutoffs.
 			lambda := float64(hosts) * cl.load / size.Moment(1)

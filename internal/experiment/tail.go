@@ -7,6 +7,7 @@ import (
 	"sita/internal/runner"
 	"sita/internal/server"
 	"sita/internal/stats"
+	"sita/internal/streamcache"
 )
 
 // TailLatency reports the slowdown distribution's upper percentiles per
@@ -19,7 +20,7 @@ func TailLatency(cfg Config) ([]Table, error) {
 		return nil, err
 	}
 	size := cfg.Profile.MustSizeDist()
-	jobs := tr.JobsAtLoad(load, 2, true, cfg.Seed)
+	jobs := streamcache.Shared.JobsAtLoad(tr, load, 2, true, cfg.Seed)
 	t := NewTable("tail-latency", "Slowdown percentiles at load 0.7, 2 hosts (simulation)",
 		"percentile", "slowdown")
 	percentiles := []float64{0.50, 0.90, 0.95, 0.99, 0.999}

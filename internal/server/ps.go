@@ -309,9 +309,13 @@ func (s *PSSystem) HandleEvent(now float64, ev sim.Ev) {
 // RunPS simulates the job list on PS hosts and aggregates metrics like Run.
 // A record's Wait is the sharing-induced stretch (response minus size), so
 // Wait + Size = Response holds exactly as under FCFS.
+// The jobs slice is never written: hosts copy each job into host-local
+// pjob state, so callers may share one job list across concurrent runs
+// (the package's read-only input contract).
 // Panics if cfg.Hosts <= 0 or cfg.WarmupFraction is outside [0, 1).
 //
 //sim:entry
+//sim:readonly jobs
 func RunPS(jobs []workload.Job, cfg Config) *Result {
 	if cfg.Hosts <= 0 {
 		panic(fmt.Sprintf("server: config needs hosts > 0, got %d", cfg.Hosts))

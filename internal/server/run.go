@@ -124,10 +124,12 @@ func (r *Result) Utilization(i int) float64 {
 // cfg.Policy instance (policies are stateful; see Policy) and its own
 // SizeClass func if that func is stateful. The jobs slice is never
 // written (it is copied first when renumbering is needed), so callers may
-// share one job list across concurrent runs.
+// share one job list across concurrent runs — the package's read-only
+// input contract, which internal/streamcache relies on.
 // Panics if cfg.Hosts <= 0 or cfg.WarmupFraction is outside [0, 1).
 //
 //sim:entry
+//sim:readonly jobs
 func Run(jobs []workload.Job, cfg Config) *Result {
 	if cfg.Hosts <= 0 {
 		panic(fmt.Sprintf("server: config needs hosts > 0, got %d", cfg.Hosts))

@@ -12,6 +12,16 @@
 // reusable storage owned by the sim.Engine. Concurrency happens one
 // level up (internal/runner for sweeps, internal/service for the HTTP
 // server), always with one engine, one policy, and one Result per cell.
+//
+// Read-only input contract: Run and RunPS never write the jobs slice they
+// are given — when renumbering is needed they copy first (see renumber),
+// and the FCFS and PS systems read job values out of the feed without
+// aliasing slice elements. This is what lets internal/streamcache hand one
+// generated stream to every policy at a load point, copy-free and from
+// many goroutines at once. The contract is enforced by the //sim:readonly
+// directive (checked by the readonly analyzer under cmd/simvet) and by
+// checksum tests in readonly_test.go; any future mutation of the input
+// must copy first.
 package server
 
 import (

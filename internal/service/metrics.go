@@ -8,6 +8,7 @@ import (
 
 	"sita/internal/sim"
 	"sita/internal/stats"
+	"sita/internal/streamcache"
 )
 
 // reqKey labels one requests_total counter cell.
@@ -144,6 +145,29 @@ func (s *Server) writePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP simd_cache_bytes Bytes of cached response bodies.")
 	fmt.Fprintln(w, "# TYPE simd_cache_bytes gauge")
 	fmt.Fprintf(w, "simd_cache_bytes %d\n", cs.Bytes)
+
+	ss := streamcache.Shared.Stats()
+	fmt.Fprintln(w, "# HELP simd_streamcache_hits_total Job streams served from the shared stream cache.")
+	fmt.Fprintln(w, "# TYPE simd_streamcache_hits_total counter")
+	fmt.Fprintf(w, "simd_streamcache_hits_total %d\n", ss.Hits)
+	fmt.Fprintln(w, "# HELP simd_streamcache_misses_total Stream requests that generated a new stream.")
+	fmt.Fprintln(w, "# TYPE simd_streamcache_misses_total counter")
+	fmt.Fprintf(w, "simd_streamcache_misses_total %d\n", ss.Misses)
+	fmt.Fprintln(w, "# HELP simd_streamcache_joins_total Stream requests coalesced onto an in-flight generation.")
+	fmt.Fprintln(w, "# TYPE simd_streamcache_joins_total counter")
+	fmt.Fprintf(w, "simd_streamcache_joins_total %d\n", ss.Joins)
+	fmt.Fprintln(w, "# HELP simd_streamcache_evictions_total Streams evicted to hold the byte bound.")
+	fmt.Fprintln(w, "# TYPE simd_streamcache_evictions_total counter")
+	fmt.Fprintf(w, "simd_streamcache_evictions_total %d\n", ss.Evictions)
+	fmt.Fprintln(w, "# HELP simd_streamcache_generations_total Stream generations performed (misses plus bypasses).")
+	fmt.Fprintln(w, "# TYPE simd_streamcache_generations_total counter")
+	fmt.Fprintf(w, "simd_streamcache_generations_total %d\n", ss.Generations)
+	fmt.Fprintln(w, "# HELP simd_streamcache_entries Cached job streams.")
+	fmt.Fprintln(w, "# TYPE simd_streamcache_entries gauge")
+	fmt.Fprintf(w, "simd_streamcache_entries %d\n", ss.Entries)
+	fmt.Fprintln(w, "# HELP simd_streamcache_bytes Bytes of cached job streams.")
+	fmt.Fprintln(w, "# TYPE simd_streamcache_bytes gauge")
+	fmt.Fprintf(w, "simd_streamcache_bytes %d\n", ss.Bytes)
 
 	fmt.Fprintln(w, "# HELP simd_queue_depth Admitted requests waiting for a simulation slot.")
 	fmt.Fprintln(w, "# TYPE simd_queue_depth gauge")

@@ -243,6 +243,8 @@ func TestMetricsAndHealth(t *testing.T) {
 		"simd_cache_misses_total 1",
 		"simd_request_seconds_count",
 		"simd_engine_acquires_total",
+		"simd_streamcache_generations_total",
+		"simd_streamcache_bytes",
 		"simd_queue_depth 0",
 	}
 	scrape := func() string {

@@ -15,6 +15,7 @@ import (
 	"sita/internal/core"
 	"sita/internal/dist"
 	"sita/internal/server"
+	"sita/internal/streamcache"
 )
 
 // SimRequest is the body of POST /v1/simulate. Every field except Policy
@@ -211,7 +212,10 @@ func (s *Server) runSimulation(req SimRequest) ([]byte, error) {
 	if err != nil {
 		return nil, badRequest{err.Error()}
 	}
-	jobs := wl.JobsAtLoad(req.Load, req.Hosts, !req.Bursty, req.Seed)
+	// The stream cache dedupes identical (workload, load, hosts, seed)
+	// requests — repeated or coalesced simulations share one generated
+	// stream, which the engines' read-only contract makes safe.
+	jobs := streamcache.Shared.JobsAtLoad(wl.Trace, req.Load, req.Hosts, !req.Bursty, req.Seed)
 
 	cfg := server.Config{
 		Hosts:          req.Hosts,
@@ -462,11 +466,10 @@ func (m *workloadMemo) get(profile string, seed uint64, jobs int) (*sita.Workloa
 		return nil, err
 	}
 	if jobs > 0 && jobs < wl.Trace.Len() {
-		// Shallow-copy before truncating: the full-trace entry for the
-		// same (profile, seed) may be cached too and must stay intact.
-		tr := *wl.Trace
-		tr.Jobs = tr.Jobs[:jobs]
-		wl = &sita.Workload{Profile: wl.Profile, Size: wl.Size, Trace: &tr}
+		// Truncate derives a child trace (sharing the backing array, with
+		// its own cache identity and size mean); the full-trace entry for
+		// the same (profile, seed) may be cached too and stays intact.
+		wl = &sita.Workload{Profile: wl.Profile, Size: wl.Size, Trace: wl.Trace.Truncate(jobs)}
 	}
 	if len(m.entries) >= memoCap {
 		m.entries = m.entries[:memoCap-1]

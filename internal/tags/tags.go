@@ -180,8 +180,12 @@ func (t *tagsSim) done(h int, job workload.Job, now float64) {
 // host never kills). Jobs must be sorted by arrival time. warmup is the
 // fraction of jobs (by arrival order) excluded from delay statistics.
 // Panics if the cutoffs do not ascend or the jobs are unsorted.
+// The jobs slice is never written (the feed is read by value), so callers
+// may share one job list across concurrent runs — the same read-only
+// input contract as server.Run.
 //
 //sim:entry
+//sim:readonly jobs
 func Simulate(jobs []workload.Job, cutoffs []float64, warmup float64) *Result {
 	if !sort.Float64sAreSorted(cutoffs) {
 		panic(fmt.Sprintf("tags: cutoffs must ascend, got %v", cutoffs))

@@ -20,19 +20,20 @@ func (t *Trace) Head(n int) *Trace {
 	}
 	jobs := make([]workload.Job, n)
 	copy(jobs, t.Jobs[:n])
-	return &Trace{Name: t.Name, Jobs: jobs}
+	return t.derive(t.Name, fmt.Sprintf("/head%d", n), jobs)
 }
 
 // FilterSize returns a new trace with only the jobs whose size lies in
 // (lo, hi], preserving arrival order.
 func (t *Trace) FilterSize(lo, hi float64) *Trace {
-	out := &Trace{Name: fmt.Sprintf("%s[size in (%g, %g]]", t.Name, lo, hi)}
+	var jobs []workload.Job
 	for _, j := range t.Jobs {
 		if j.Size > lo && j.Size <= hi {
-			out.Jobs = append(out.Jobs, j)
+			jobs = append(jobs, j)
 		}
 	}
-	return out
+	return t.derive(fmt.Sprintf("%s[size in (%g, %g]]", t.Name, lo, hi),
+		fmt.Sprintf("/size(%g,%g]", lo, hi), jobs)
 }
 
 // TimeSpan reports the first and last arrival instants (0, 0 for an empty
@@ -60,7 +61,9 @@ func Merge(name string, traces ...*Trace) *Trace {
 	for i := range jobs {
 		jobs[i].ID = i
 	}
-	return &Trace{Name: name, Jobs: jobs}
+	// A merge of several parents has no single derivation chain; New
+	// assigns a fresh anonymous identity.
+	return New(name, jobs)
 }
 
 // Thin returns a new trace keeping every k-th job (k >= 1), a quick way to
@@ -70,9 +73,9 @@ func (t *Trace) Thin(k int) *Trace {
 	if k < 1 {
 		panic(fmt.Sprintf("trace: thin factor must be >= 1, got %d", k))
 	}
-	out := &Trace{Name: fmt.Sprintf("%s/thin%d", t.Name, k)}
+	var jobs []workload.Job
 	for i := 0; i < len(t.Jobs); i += k {
-		out.Jobs = append(out.Jobs, t.Jobs[i])
+		jobs = append(jobs, t.Jobs[i])
 	}
-	return out
+	return t.derive(fmt.Sprintf("%s/thin%d", t.Name, k), fmt.Sprintf("/thin%d", k), jobs)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"sita/internal/dist"
 	"sita/internal/sim"
@@ -12,9 +13,103 @@ import (
 )
 
 // Trace is an ordered job log: arrival instants and service requirements.
+//
+// Immutability contract: a Trace — the Jobs slice included — must be
+// treated as read-only once built. Traces are shared freely (the experiment
+// trace cache, the job-stream cache in internal/streamcache, and the simd
+// workload memo all hand one *Trace to many concurrent consumers), and the
+// derivation helpers (Head, Truncate, SplitHalf, FilterSize, Thin, Merge)
+// return new traces instead of editing in place. Mutating Jobs directly
+// would desynchronize the precomputed size mean and the cache identity
+// below; derive a new trace instead.
 type Trace struct {
 	Name string
 	Jobs []workload.Job
+
+	// id is the cache identity assigned at construction (see Identity);
+	// zero for traces built as plain literals, which caches then bypass.
+	id Identity
+	// meanSize is the precomputed mean job size (0 when not precomputed;
+	// job sizes are validated positive, so 0 is never a real mean).
+	meanSize float64
+}
+
+// Identity is a comparable, process-stable identity for a trace's exact
+// job content, used as a cache key by internal/streamcache and the
+// experiment harness. Two traces share an identity only when they are
+// guaranteed to hold the identical job slice: either they come from the
+// same generation recipe (Profile + seed — Generate is a pure function of
+// both), or one was derived from the other by a pure derivation (Ops
+// records the chain), or they are literally the same construction (Anon,
+// a process-unique sequence number, for traces with no reproducible
+// recipe such as SWF imports). The zero Identity means "no identity":
+// caches fall back to regenerating rather than guessing.
+type Identity struct {
+	// Profile and Seed are the generation recipe for synthesized traces.
+	Profile Profile
+	Seed    uint64
+	// Anon is a process-unique sequence number for traces without a
+	// reproducible recipe (SWF imports, ad-hoc constructions via New).
+	Anon uint64
+	// Ops is the chain of pure derivations applied after construction
+	// ("/derive", "[:20000]", "/thin3", ...), empty for the original.
+	Ops string
+}
+
+// IsZero reports whether the identity is unset.
+func (id Identity) IsZero() bool { return id == Identity{} }
+
+// anonSeq numbers identities for traces without a generation recipe.
+var anonSeq atomic.Uint64
+
+// New builds a trace from a job slice, precomputing the size mean and
+// assigning a fresh anonymous identity. The slice is NOT copied; the
+// caller hands over ownership and must not mutate it afterwards (see the
+// immutability contract on Trace).
+func New(name string, jobs []workload.Job) *Trace {
+	t := &Trace{Name: name, Jobs: jobs, id: Identity{Anon: anonSeq.Add(1)}}
+	t.meanSize = t.computeSizeMean()
+	return t
+}
+
+// derive builds a child trace from a pure derivation of t: the child's
+// identity extends the parent's Ops chain, so caches can key derived
+// traces without content hashing. A parent without identity yields a
+// child without identity.
+func (t *Trace) derive(name, op string, jobs []workload.Job) *Trace {
+	out := &Trace{Name: name, Jobs: jobs}
+	if !t.id.IsZero() {
+		out.id = t.id
+		out.id.Ops += op
+	}
+	out.meanSize = out.computeSizeMean()
+	return out
+}
+
+// Identity returns the trace's cache identity (zero, with ok=false, for
+// traces built as plain literals).
+func (t *Trace) Identity() (id Identity, ok bool) {
+	return t.id, !t.id.IsZero()
+}
+
+// computeSizeMean streams the mean job size exactly as ComputeStats does,
+// so the precomputed value is bit-identical to a fresh pass.
+func (t *Trace) computeSizeMean() float64 {
+	var mean stats.Stream
+	for _, j := range t.Jobs {
+		mean.Add(j.Size)
+	}
+	return mean.Mean()
+}
+
+// SizeMean returns the mean job size, precomputed at construction for
+// traces built through the package constructors (Generate, New, the
+// derivation helpers) and streamed on demand otherwise.
+func (t *Trace) SizeMean() float64 {
+	if t.meanSize != 0 {
+		return t.meanSize
+	}
+	return t.computeSizeMean()
 }
 
 // Generate synthesizes a trace from a profile: Bounded Pareto service times
@@ -43,7 +138,7 @@ func Generate(p Profile, seed uint64) (*Trace, error) {
 	if p.GapSCV <= 1 {
 		src := workload.NewSource(workload.NewPoisson(lambda),
 			workload.DistSizes{D: size}, arrRNG, sizeRNG)
-		return &Trace{Name: p.Name, Jobs: src.Take(p.Jobs)}, nil
+		return newGenerated(p, seed, src.Take(p.Jobs)), nil
 	}
 	// Burst intensity scales with the profile's gap variability; the high
 	// state emits bursts of ~150 jobs at burstFactor times the mean rate.
@@ -87,7 +182,16 @@ func Generate(p Profile, seed uint64) (*Trace, error) {
 		}
 		jobs[i] = workload.Job{ID: i, Arrival: clock, Size: size.Quantile(u)}
 	}
-	return &Trace{Name: p.Name, Jobs: jobs}, nil
+	return newGenerated(p, seed, jobs), nil
+}
+
+// newGenerated packages a synthesized job slice with its generation
+// recipe as the cache identity. Generate is a pure function of (profile,
+// seed), so two traces with the same recipe identity hold identical jobs.
+func newGenerated(p Profile, seed uint64, jobs []workload.Job) *Trace {
+	t := &Trace{Name: p.Name, Jobs: jobs, id: Identity{Profile: p, Seed: seed}}
+	t.meanSize = t.computeSizeMean()
+	return t
 }
 
 // Len reports the number of jobs.
@@ -171,8 +275,20 @@ func (t *Trace) ComputeStats() Stats {
 // evaluate on the other (section 4.1).
 func (t *Trace) SplitHalf() (first, second *Trace) {
 	mid := len(t.Jobs) / 2
-	return &Trace{Name: t.Name + "/derive", Jobs: t.Jobs[:mid]},
-		&Trace{Name: t.Name + "/evaluate", Jobs: t.Jobs[mid:]}
+	return t.derive(t.Name+"/derive", "/derive", t.Jobs[:mid]),
+		t.derive(t.Name+"/evaluate", "/evaluate", t.Jobs[mid:])
+}
+
+// Truncate returns a trace holding the first n jobs without copying them
+// (the child shares the parent's backing array, which the immutability
+// contract makes safe). Unlike slicing Jobs in place, the child carries a
+// correct derived identity and a freshly computed size mean. Returns t
+// itself if n >= Len.
+func (t *Trace) Truncate(n int) *Trace {
+	if n >= len(t.Jobs) {
+		return t
+	}
+	return t.derive(t.Name, fmt.Sprintf("[:%d]", n), t.Jobs[:n])
 }
 
 // SizeDistribution returns the empirical distribution of the trace's job
@@ -184,20 +300,20 @@ func (t *Trace) SizeDistribution() *dist.Empirical {
 // JobsAtLoad re-times the trace's jobs so that a system of hosts unit-speed
 // hosts runs at the target load, preserving size order. Poisson-mode draws
 // fresh exponential gaps (sections 2-5); otherwise the trace's own gaps are
-// rescaled (section 6). Panics if load is outside (0, 1).
+// rescaled (section 6). The result is a pure function of (trace content,
+// load, hosts, poisson, seed) — the property internal/streamcache keys on;
+// consumers that retime the same trace repeatedly should go through that
+// cache instead of calling this directly. Panics if load is outside (0, 1).
 func (t *Trace) JobsAtLoad(load float64, hosts int, poisson bool, seed uint64) []workload.Job {
 	if load <= 0 || load >= 1 {
 		panic(fmt.Sprintf("trace: load must be in (0,1), got %v", load))
 	}
-	var mean stats.Stream
-	for _, j := range t.Jobs {
-		mean.Add(j.Size)
-	}
+	mean := t.SizeMean()
 	var arr workload.ArrivalProcess
 	if poisson {
-		arr = workload.NewPoisson(workload.RateForLoad(load, mean.Mean(), hosts))
+		arr = workload.NewPoisson(workload.RateForLoad(load, mean, hosts))
 	} else {
-		arr = workload.NewReplayForLoad(t.Gaps(), load, mean.Mean(), hosts)
+		arr = workload.NewReplayForLoad(t.Gaps(), load, mean, hosts)
 	}
 	src := workload.NewSource(arr, workload.NewReplaySizes(t.Sizes()),
 		sim.NewRNG(seed, 2), sim.NewRNG(seed, 3))

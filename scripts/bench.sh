@@ -34,4 +34,10 @@ count="${BENCH_COUNT:-5}"
   go test -run '^$' -bench . -benchmem -count "$count" ./internal/sim/
   # Host-selection index micro-benchmarks (must stay 0 allocs/op).
   go test -run '^$' -bench . -benchmem -count "$count" ./internal/hostindex/
+  # Stream-cache: cached vs bypassed multi-policy sweep in the same binary,
+  # and the per-acquisition hit/generate costs (hit must stay 0 allocs/op).
+  go test -run '^$' -bench 'BenchmarkSweepStreamCache' -benchmem -benchtime 1x \
+    -count "$count" ./internal/experiment/
+  go test -run '^$' -bench 'BenchmarkJobsAtLoad' -benchmem -count "$count" \
+    ./internal/streamcache/
 } | tee "$out"
