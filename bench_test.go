@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"testing"
 
+	"sita/internal/core"
 	"sita/internal/experiment"
 	"sita/internal/policy"
 	"sita/internal/queueing"
 	"sita/internal/server"
+	"sita/internal/trace"
 )
 
 // The benchmarks below regenerate every table and figure of the paper at a
@@ -135,6 +137,63 @@ func BenchmarkManyHosts(b *testing.B) {
 				}
 				b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 			})
+		}
+	}
+}
+
+// BenchmarkDirectVsEngine measures the oblivious-policy direct-recurrence
+// fast path against the event-heap engine on the same 100k-job C90 stream:
+// identical Run call, identical output bytes (the differential tests prove
+// it), only the dispatch toggled via SetDirectEnabled. The <policy>/h=N
+// direct-to-engine ns/op ratio is the fast path's speedup; BENCH_9.json
+// records the medians.
+func BenchmarkDirectVsEngine(b *testing.B) {
+	prof := trace.C90()
+	prof.Jobs = 100000
+	wl, err := WorkloadFromProfile(prof, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, h := range []int{2, 32} {
+		jobs := wl.JobsAtLoad(0.7, h, true, 9)
+		// The full (h-1)-cutoff SITA design keeps the policy in the
+		// oblivious family at every h; the grouped SITA+LWL hybrid the
+		// 2-cutoff Design builds for h > 2 reads backlogs and stays on
+		// the engine by design.
+		design, err := core.NewDesignFull(core.SITAE, 0.7, wl.Size, h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// EstimatedLWL is deliberately absent: its Assign is an O(h)
+		// believed-backlog scan that dominates both paths symmetrically,
+		// so its cells measure the policy, not the dispatch machinery.
+		// The differential tests still cover its direct-path parity.
+		cases := []struct {
+			name  string
+			build func() Policy
+		}{
+			{"Random", func() Policy { return policy.NewRandom(NewRNG(9, 60)) }},
+			{"RoundRobin", func() Policy { return policy.NewRoundRobin() }},
+			{"SITA-E", func() Policy { return design.Policy() }},
+		}
+		for _, c := range cases {
+			for _, mode := range []struct {
+				name   string
+				direct bool
+			}{{"direct", true}, {"engine", false}} {
+				b.Run(fmt.Sprintf("%s/h%d/%s", c.name, h, mode.name), func(b *testing.B) {
+					server.SetDirectEnabled(mode.direct)
+					defer server.SetDirectEnabled(true)
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						res := server.Run(jobs, server.Config{Hosts: h, Policy: c.build()})
+						if res.Slowdown.Count() == 0 {
+							b.Fatal("no jobs completed")
+						}
+					}
+					b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+				})
+			}
 		}
 	}
 }

@@ -1,8 +1,8 @@
 // Package analysis is the simulator's static-analysis suite: five
 // file-local analyzers (seedflow, nowallclock, maporder, floateq,
-// panicpolicy) plus four interprocedural ones (detflow, allocfree,
-// pairing, readonly) that machine-check the determinism, allocation,
-// input-immutability, and
+// panicpolicy) plus five interprocedural ones (detflow, allocfree,
+// pairing, readonly, oblivious) that machine-check the determinism,
+// allocation, input-immutability, policy-capability, and
 // resource-lifecycle contracts the experiment pipeline depends on, and
 // the small framework they run on — including a whole-module call graph
 // (see callgraph.go) for the interprocedural family.
@@ -259,6 +259,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		Seedflow, NoWallClock, MapOrder, FloatEq, PanicPolicy,
-		Detflow, Allocfree, Pairing, Readonly,
+		Detflow, Allocfree, Pairing, Readonly, Oblivious,
 	}
 }

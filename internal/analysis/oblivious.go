@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Oblivious machine-checks the capability contract behind server.RunDirect:
+// a policy type that declares the oblivious capability — a method
+// `Oblivious() bool` alongside `Assign` — promises that its Assign never
+// reads the simulated system's state, only the job and the policy's own
+// sequential state. The direct-recurrence fast path depends on that
+// promise for correctness (a state-reading policy would silently simulate
+// a different system), so the claim is enforced statically here, at run
+// time by the tripwire View the direct path installs, and empirically by
+// the differential tests in internal/policy.
+//
+// The check: from each capability-declaring type's Assign method, walk the
+// static call edges (EdgeCall, like allocfree and readonly) and flag any
+// call to a state-query method of an interface named View — NumJobs,
+// WorkLeft, Idle, MinWorkHost, MinWorkHostIn, MinJobsHost, NextIdleHost.
+// Hosts() is exempt: the host count is configuration, not state.
+//
+// Delegating wrappers (Misclassify, EstimatedSITA) forward the capability
+// from an inner policy held behind an interface; the inner Assign is
+// interface dispatch, which this walk deliberately does not follow — the
+// wrapper's claim is resolved at run time from the inner policy's answer,
+// and the inner type is checked on its own when it declares the
+// capability. What the walk does cover is the wrapper's own code and every
+// concrete helper it statically calls.
+var Oblivious = &Analyzer{
+	Name: "oblivious",
+	Doc: "types declaring the Oblivious capability must not read View " +
+		"state from Assign or its static callees: the direct-recurrence " +
+		"fast path simulates them without maintaining that state",
+	RunModule: runOblivious,
+}
+
+// viewStateMethods are the View queries that read simulated system state.
+var viewStateMethods = map[string]bool{
+	"NumJobs":       true,
+	"WorkLeft":      true,
+	"Idle":          true,
+	"MinWorkHost":   true,
+	"MinWorkHostIn": true,
+	"MinJobsHost":   true,
+	"NextIdleHost":  true,
+}
+
+func runOblivious(pass *ModulePass) {
+	g := pass.Graph
+
+	// Pass 1: receiver types declaring the capability (Oblivious() bool)
+	// and, per receiver type, the node of its Assign method. Assign nodes
+	// are kept in declaration order so the root list — and with it the
+	// walk's discovery parents — is deterministic (Walk re-sorts by key).
+	declares := make(map[*types.TypeName]bool)
+	type assignDecl struct {
+		recv *types.TypeName
+		node *CGNode
+	}
+	var assigns []assignDecl
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Recv == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				recv := receiverTypeName(obj)
+				if recv == nil {
+					continue
+				}
+				switch fn.Name.Name {
+				case "Oblivious":
+					sig := obj.Type().(*types.Signature)
+					if sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+						types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool]) {
+						declares[recv] = true
+					}
+				case "Assign":
+					assigns = append(assigns, assignDecl{recv: recv, node: g.Node(obj.FullName())})
+				}
+			}
+		}
+	}
+
+	var roots []*CGNode
+	for _, a := range assigns {
+		if declares[a.recv] && a.node != nil {
+			roots = append(roots, a.node)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	order, parent := g.Walk(roots, map[EdgeKind]bool{EdgeCall: true}, false)
+	for _, n := range order {
+		if n.Pkg == nil || n.Decl == nil || n.Decl.Body == nil {
+			continue
+		}
+		checkViewReads(pass, g, n, parent)
+	}
+}
+
+// receiverTypeName resolves a method's receiver to its named type, seeing
+// through pointers.
+func receiverTypeName(fn *types.Func) *types.TypeName {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// checkViewReads reports state-query calls on a View interface inside one
+// function body reached from a capability-declaring Assign.
+func checkViewReads(pass *ModulePass, g *CallGraph, n *CGNode, parent map[*CGNode]*CGNode) {
+	info := n.Pkg.Info
+	where := g.Display(n.Key)
+	via := ""
+	if parent[n] != nil {
+		via = " (reached via " + g.pathVia(parent, n) + ")"
+	}
+	ast.Inspect(n.Decl, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok {
+			return true
+		}
+		m, ok := selection.Obj().(*types.Func)
+		if !ok || !viewStateMethods[m.Name()] {
+			return true
+		}
+		msig, ok := m.Type().(*types.Signature)
+		if !ok || msig.Recv() == nil || !types.IsInterface(msig.Recv().Type()) {
+			return true
+		}
+		named, ok := types.Unalias(selection.Recv()).(*types.Named)
+		if !ok || named.Obj().Name() != "View" {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s reads View.%s but its receiver declares the Oblivious capability%s — state-blind policies must not consult system state", where, m.Name(), via)
+		return true
+	})
+}

@@ -1,0 +1,94 @@
+// Package oblivious fixes the oblivious analyzer's behavior: types that
+// declare the Oblivious capability must keep View state queries out of
+// Assign and its static callees; Hosts() stays legal, non-declaring types
+// stay unchecked, and interface dispatch to an inner policy is not
+// followed (the wrapper pattern).
+package oblivious
+
+// Job and View mirror the server package's shapes; fixtures cannot import
+// module packages, and both analyzers match by name (interface named View,
+// its state-query methods).
+type Job struct {
+	ID      int
+	Arrival float64
+	Size    float64
+}
+
+type View interface {
+	Hosts() int
+	NumJobs(i int) int
+	WorkLeft(i int) float64
+	Idle(i int) bool
+	MinWorkHost() int
+	MinWorkHostIn(lo, hi int) int
+	MinJobsHost() int
+	NextIdleHost() int
+}
+
+type Policy interface {
+	Name() string
+	Assign(j Job, v View) int
+}
+
+// RoundRobinish is honestly oblivious: Hosts() is configuration, not
+// state, so no diagnostic.
+type RoundRobinish struct{ next int }
+
+func (*RoundRobinish) Name() string { return "rr" }
+func (p *RoundRobinish) Assign(_ Job, v View) int {
+	idx := p.next
+	p.next = (p.next + 1) % v.Hosts()
+	return idx
+}
+func (*RoundRobinish) Oblivious() bool { return true }
+
+// Liar claims the capability but reads queue state directly in Assign.
+type Liar struct{}
+
+func (Liar) Name() string { return "liar" }
+func (Liar) Assign(_ Job, v View) int {
+	if v.Idle(0) { // want `\(oblivious\.Liar\)\.Assign reads View\.Idle but its receiver declares the Oblivious capability`
+		return 0
+	}
+	return v.MinJobsHost() // want `\(oblivious\.Liar\)\.Assign reads View\.MinJobsHost but its receiver declares the Oblivious capability`
+}
+func (Liar) Oblivious() bool { return true }
+
+// Launderer hides the state read behind a static helper call: the walk
+// follows EdgeCall and names the path.
+type Launderer struct{}
+
+func (Launderer) Name() string             { return "launderer" }
+func (Launderer) Assign(_ Job, v View) int { return leastLoaded(v) }
+func (Launderer) Oblivious() bool          { return true }
+
+func leastLoaded(v View) int {
+	return v.MinWorkHost() // want `oblivious\.leastLoaded reads View\.MinWorkHost but its receiver declares the Oblivious capability \(reached via \(oblivious\.Launderer\)\.Assign -> oblivious\.leastLoaded\)`
+}
+
+// Honest does not declare the capability, so its state reads are the
+// engine path's business, not this analyzer's.
+type Honest struct{}
+
+func (Honest) Name() string             { return "honest" }
+func (Honest) Assign(_ Job, v View) int { return v.MinJobsHost() }
+
+// Wrapper delegates Assign through the Policy interface. Interface
+// dispatch is not followed (the inner policy is checked where it declares
+// the capability; the wrapper's claim is resolved at run time), so
+// wrapping Honest produces no diagnostic here.
+type Wrapper struct{ inner Policy }
+
+func (w *Wrapper) Name() string             { return "wrap(" + w.inner.Name() + ")" }
+func (w *Wrapper) Assign(j Job, v View) int { return w.inner.Assign(j, v) }
+func (w *Wrapper) Oblivious() bool          { return false }
+
+// Allowed demonstrates the shared suppression escape hatch.
+type Allowed struct{}
+
+func (Allowed) Name() string { return "allowed" }
+func (Allowed) Assign(_ Job, v View) int {
+	//lint:allow oblivious fixture demo: suppression keeps the claim reviewable in place
+	return v.NextIdleHost()
+}
+func (Allowed) Oblivious() bool { return true }

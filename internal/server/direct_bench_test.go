@@ -1,0 +1,39 @@
+package server
+
+import (
+	"testing"
+)
+
+// BenchmarkDirectReplayCore isolates the direct path's steady-state inner
+// loop — pooled scratch, assignment pass, tournament-merge emission — from
+// the per-run Result construction, pinning the //sim:noalloc contract
+// empirically: after the first iteration grows the scratch arrays,
+// allocs/op must report 0.
+func BenchmarkDirectReplayCore(b *testing.B) {
+	jobs := goldenJobs(48, 100000)
+	hosts := make([]int, len(jobs))
+	for i := range hosts {
+		hosts[i] = i % 32
+	}
+	pol := &scripted{hosts: hosts}
+	res := &Result{
+		PerHostJobs: make([]int64, 32),
+		PerHostWork: make([]float64, 32),
+	}
+	d := directPool.Get().(*directRunner)
+	defer d.release()
+	d.res = res
+	d.setup(len(jobs), 32, pol)
+	d.replay(jobs)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.setup(len(jobs), 32, pol)
+		d.replay(jobs)
+	}
+	b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	if res.Slowdown.Count() == 0 {
+		b.Fatal("no jobs observed")
+	}
+}

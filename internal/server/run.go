@@ -112,15 +112,73 @@ func (r *Result) Utilization(i int) float64 {
 	return r.PerHostWork[i] / r.Horizon
 }
 
+// validateConfig checks the contracts shared by Run and RunDirect.
+// Panics if cfg.Hosts <= 0 or cfg.WarmupFraction is outside [0, 1).
+func validateConfig(cfg Config) {
+	if cfg.Hosts <= 0 {
+		panic(fmt.Sprintf("server: config needs hosts > 0, got %d", cfg.Hosts))
+	}
+	if cfg.WarmupFraction < 0 || cfg.WarmupFraction >= 1 {
+		panic(fmt.Sprintf("server: warmup fraction %v outside [0, 1)", cfg.WarmupFraction))
+	}
+}
+
+// newResult builds the empty Result for one run.
+func newResult(cfg Config) *Result {
+	res := &Result{
+		PolicyName:  cfg.Policy.Name(),
+		Hosts:       cfg.Hosts,
+		PerHostJobs: make([]int64, cfg.Hosts),
+		PerHostWork: make([]float64, cfg.Hosts),
+	}
+	if cfg.SizeClass != nil {
+		res.Classes = stats.NewClassTally()
+	}
+	return res
+}
+
+// observe folds one completed job into the result: per-host accounting
+// always, delay statistics past the warmup prefix. Both simulation paths
+// — the event-heap engine and the direct recurrence — emit records
+// through this single function, in the same order, so the accumulated
+// streams are bit-identical by construction.
+func (res *Result) observe(rec JobRecord, warmup int, cfg *Config) {
+	res.PerHostJobs[rec.Host]++
+	res.PerHostWork[rec.Host] += rec.Size
+	if rec.Departure > res.Horizon {
+		res.Horizon = rec.Departure
+	}
+	if rec.ID < warmup {
+		return
+	}
+	res.Slowdown.Add(rec.Slowdown())
+	res.Response.Add(rec.Response())
+	res.Wait.Add(rec.Wait())
+	if res.Classes != nil {
+		res.Classes.Add(cfg.SizeClass(rec.Size), rec.Slowdown())
+	}
+	if cfg.KeepRecords {
+		res.Records = append(res.Records, rec)
+	}
+}
+
 // Run simulates the job list under the configuration and returns aggregated
 // metrics. Jobs are renumbered by arrival order; records carry that
 // ordinal as their ID.
 //
+// Dispatch: when the policy claims the Oblivious capability, no interrupt
+// probe is installed, and the direct path is enabled (SetDirectEnabled),
+// Run takes the O(1)-per-job direct recurrence (RunDirect) instead of the
+// discrete-event engine. The two paths produce bit-identical Results —
+// same float sequence, same record emission order, same RNG draw order —
+// so the dispatch is invisible to callers; -direct=0 on cmd/sweep forces
+// the engine for parity checks.
+//
 // Concurrency: Run itself is synchronous and single-goroutine — the
-// completion callback below updates the Result's Horizon, PerHost and
-// stream accounting without locks, which is safe because the discrete-event
-// engine delivers completions sequentially on the calling goroutine.
-// Concurrent Run calls are safe provided each call gets its own
+// completion accounting (Result.observe) updates the Result's Horizon,
+// PerHost and stream fields without locks, which is safe because both
+// simulation paths deliver completions sequentially on the calling
+// goroutine. Concurrent Run calls are safe provided each call gets its own
 // cfg.Policy instance (policies are stateful; see Policy) and its own
 // SizeClass func if that func is stateful. The jobs slice is never
 // written (it is copied first when renumbering is needed), so callers may
@@ -131,47 +189,30 @@ func (r *Result) Utilization(i int) float64 {
 //sim:entry
 //sim:readonly jobs
 func Run(jobs []workload.Job, cfg Config) *Result {
-	if cfg.Hosts <= 0 {
-		panic(fmt.Sprintf("server: config needs hosts > 0, got %d", cfg.Hosts))
+	validateConfig(cfg)
+	if DirectEligible(cfg) {
+		return RunDirect(jobs, cfg)
 	}
-	if cfg.WarmupFraction < 0 || cfg.WarmupFraction >= 1 {
-		panic(fmt.Sprintf("server: warmup fraction %v outside [0, 1)", cfg.WarmupFraction))
-	}
+	return runEngine(jobs, cfg)
+}
+
+// runEngine is the discrete-event path: every arrival and departure is an
+// event on the sim.Engine heap, which is what supports state-reading
+// policies, central-queue pulls, and cooperative interruption.
+//
+//sim:readonly jobs
+func runEngine(jobs []workload.Job, cfg Config) *Result {
 	renumbered := renumber(jobs)
 	warmup := int(cfg.WarmupFraction * float64(len(jobs)))
 
-	res := &Result{
-		PolicyName:  cfg.Policy.Name(),
-		Hosts:       cfg.Hosts,
-		PerHostJobs: make([]int64, cfg.Hosts),
-		PerHostWork: make([]float64, cfg.Hosts),
-	}
-	if cfg.SizeClass != nil {
-		res.Classes = stats.NewClassTally()
-	}
+	res := newResult(cfg)
 	eng := sim.Acquire()
 	defer sim.Release(eng)
 	if cfg.Interrupt != nil {
 		eng.SetCancelCheck(cfg.interruptEvery(), cfg.Interrupt)
 	}
 	sys := newSystemOn(eng, cfg.Hosts, cfg.Policy, cfg.CentralOrder, func(rec JobRecord) {
-		res.PerHostJobs[rec.Host]++
-		res.PerHostWork[rec.Host] += rec.Size
-		if rec.Departure > res.Horizon {
-			res.Horizon = rec.Departure
-		}
-		if rec.ID < warmup {
-			return
-		}
-		res.Slowdown.Add(rec.Slowdown())
-		res.Response.Add(rec.Response())
-		res.Wait.Add(rec.Wait())
-		if res.Classes != nil {
-			res.Classes.Add(cfg.SizeClass(rec.Size), rec.Slowdown())
-		}
-		if cfg.KeepRecords {
-			res.Records = append(res.Records, rec)
-		}
+		res.observe(rec, warmup, &cfg)
 	})
 	sys.Simulate(renumbered)
 	res.Interrupted = eng.Interrupted()

@@ -97,8 +97,7 @@ func TestStreamMergeMatchesSequential(t *testing.T) {
 		return whole.Count() == a.Count() &&
 			almostEqual(whole.Mean(), a.Mean(), 1e-9) &&
 			almostEqual(whole.Variance(), a.Variance(), 1e-7) &&
-			almostEqual(whole.Skewness(), a.Skewness(), 1e-5) &&
-			almostEqual(whole.Kurtosis(), a.Kurtosis(), 1e-4) &&
+			almostEqual(whole.Sum(), a.Sum(), 1e-9) &&
 			whole.Min() == a.Min() && whole.Max() == a.Max()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
@@ -132,20 +131,6 @@ func TestStreamAddN(t *testing.T) {
 	if a.Count() != b.Count() || !almostEqual(a.Mean(), b.Mean(), 1e-12) ||
 		!almostEqual(a.Variance(), b.Variance(), 1e-12) {
 		t.Fatalf("AddN mismatch: %s vs %s", a.String(), b.String())
-	}
-}
-
-func TestStreamSkewnessOfSymmetric(t *testing.T) {
-	rng := rand.New(rand.NewPCG(7, 7))
-	var s Stream
-	for i := 0; i < 200000; i++ {
-		s.Add(rng.NormFloat64())
-	}
-	if math.Abs(s.Skewness()) > 0.05 {
-		t.Errorf("normal sample skewness = %v, want ~0", s.Skewness())
-	}
-	if math.Abs(s.Kurtosis()) > 0.1 {
-		t.Errorf("normal sample excess kurtosis = %v, want ~0", s.Kurtosis())
 	}
 }
 

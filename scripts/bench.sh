@@ -40,4 +40,12 @@ count="${BENCH_COUNT:-5}"
     -count "$count" ./internal/experiment/
   go test -run '^$' -bench 'BenchmarkJobsAtLoad' -benchmem -count "$count" \
     ./internal/streamcache/
+  # Direct-recurrence fast path vs the event-heap engine on the same
+  # 100k-job stream (<policy>/hN direct-to-engine ns/op ratio is the
+  # speedup; output bytes are identical, proven by the differential tests),
+  # and the pooled replay core (must stay 0 allocs/op).
+  go test -run '^$' -bench 'BenchmarkDirectVsEngine' -benchmem -benchtime 1s \
+    -count "$count" .
+  go test -run '^$' -bench 'BenchmarkDirectReplayCore' -benchmem \
+    -count "$count" ./internal/server/
 } | tee "$out"
