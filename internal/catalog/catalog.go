@@ -56,9 +56,11 @@ func CheckLoad(load float64) error {
 }
 
 // CheckWarmup validates a warmup fraction: [0, 1) — excluding every job
-// from statistics is never meaningful.
+// from statistics is never meaningful. Written in the affirmative form
+// so NaN (which fails every comparison) is rejected rather than slipping
+// through a negated range check.
 func CheckWarmup(w float64) error {
-	if w < 0 || w >= 1 {
+	if !(w >= 0 && w < 1) {
 		return fmt.Errorf("warmup must be in [0,1), got %v", w)
 	}
 	return nil

@@ -330,3 +330,72 @@ func sizeLabel(h int) string {
 		return "h=1024"
 	}
 }
+
+// TestTimedMinZeroClassSweepEdges pins the sweep boundary semantics: a
+// host whose drain instant equals the query instant has zero work left
+// (key <= now sweeps, not key < now), swept hosts tie at zero with
+// lowest index winning, SetKey resurrects a drained host, and the
+// ranged query applies the same rules inside its window.
+func TestTimedMinZeroClassSweepEdges(t *testing.T) {
+	var m TimedMin
+	m.Reset(4)
+	// All hosts start drained: lowest index wins everywhere.
+	if got := m.ArgMin(0); got != 0 {
+		t.Fatalf("fresh index ArgMin = %d, want 0", got)
+	}
+
+	m.SetKey(0, 5)
+	m.SetKey(1, 7)
+	m.SetKey(2, 5)
+	m.SetKey(3, 9)
+	// No host drained, no sweep due: tree argmin with ties on key 5
+	// resolved to the lowest id.
+	if got := m.ArgMin(1); got != 0 {
+		t.Fatalf("ArgMin(1) = %d, want 0 (tree tie -> lowest id)", got)
+	}
+	for i := 0; i < 4; i++ {
+		if m.IsZero(i) {
+			t.Fatalf("host %d drained prematurely", i)
+		}
+	}
+
+	// Query exactly at the drain instant: keys 5 must sweep (<=, not <),
+	// both tied hosts land in the zero class, lowest index wins.
+	if got := m.ArgMin(5); got != 0 {
+		t.Fatalf("ArgMin(5) = %d, want 0", got)
+	}
+	if !m.IsZero(0) || !m.IsZero(2) {
+		t.Fatal("hosts with key == now were not swept into the zero class")
+	}
+	if m.IsZero(1) || m.IsZero(3) {
+		t.Fatal("hosts with key > now were swept early")
+	}
+
+	// Ranged query over a window whose zero-class member is host 2.
+	if got := m.ArgMinRange(1, 4, 5); got != 2 {
+		t.Fatalf("ArgMinRange(1, 4, 5) = %d, want 2 (zero class beats live keys)", got)
+	}
+	// Window with no zero-class host falls through to the tree range-min.
+	if got := m.ArgMinRange(1, 2, 5); got != 1 {
+		t.Fatalf("ArgMinRange(1, 2, 5) = %d, want 1", got)
+	}
+
+	// Resurrect a swept host: SetKey must pull it out of the zero class
+	// and it must not win again until its new instant arrives.
+	m.SetKey(0, 12)
+	if m.IsZero(0) {
+		t.Fatal("SetKey left host 0 in the zero class")
+	}
+	if got := m.ArgMin(5); got != 2 {
+		t.Fatalf("ArgMin(5) after resurrecting 0 = %d, want 2", got)
+	}
+	// Advance past every key: all hosts sweep, lowest index wins again.
+	if got := m.ArgMin(12); got != 0 {
+		t.Fatalf("ArgMin(12) = %d, want 0", got)
+	}
+	for i := 0; i < 4; i++ {
+		if !m.IsZero(i) {
+			t.Fatalf("host %d not swept at now past every key", i)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1 is a single FCFS M/M/1 queue: Poisson arrivals at rate Lambda,
+// exponential service with mean MeanService. The closed forms below are
+// exact (no approximation), which makes them the reference oracles the
+// property harness (internal/simtest) checks simulated Random and
+// Central-Queue systems against: under Bernoulli splitting each host of a
+// Random system is an independent M/M/1 at rate Lambda/h, and the
+// Central-Queue system with exponential sizes is the MMh model.
+//
+// MM1 is numerically a special case of MG1 with an Exponential size
+// distribution, but stated directly: the oracle side of a
+// simulation-vs-analysis check should be too simple to be wrong.
+type MM1 struct {
+	Lambda      float64
+	MeanService float64
+}
+
+// NewMM1 validates parameters. Panics if lambda or meanService is not
+// positive.
+func NewMM1(lambda, meanService float64) MM1 {
+	if lambda <= 0 || meanService <= 0 {
+		panic(fmt.Sprintf("queueing: invalid MM1 lambda=%v mean=%v", lambda, meanService))
+	}
+	return MM1{Lambda: lambda, MeanService: meanService}
+}
+
+// Load reports the utilization rho = lambda * E[X].
+func (q MM1) Load() float64 { return q.Lambda * q.MeanService }
+
+// Stable reports whether rho < 1.
+func (q MM1) Stable() bool { return q.Load() < 1 }
+
+// MeanWait reports E[W] = rho/(mu - lambda); +Inf if unstable.
+func (q MM1) MeanWait() float64 {
+	rho := q.Load()
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / (1/q.MeanService - q.Lambda)
+}
+
+// MeanResponse reports E[T] = 1/(mu - lambda); +Inf if unstable.
+func (q MM1) MeanResponse() float64 {
+	if q.Load() >= 1 {
+		return math.Inf(1)
+	}
+	return 1 / (1/q.MeanService - q.Lambda)
+}
+
+// MeanQueueLength reports E[Q] = lambda * E[W] = rho^2/(1-rho), Little's
+// law on the waiting room; +Inf if unstable.
+func (q MM1) MeanQueueLength() float64 {
+	if q.Load() >= 1 {
+		return math.Inf(1)
+	}
+	return q.Lambda * q.MeanWait()
+}
+
+// MeanJobsInSystem reports E[N] = rho/(1-rho), Little's law on the whole
+// system; +Inf if unstable.
+func (q MM1) MeanJobsInSystem() float64 {
+	rho := q.Load()
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / (1 - rho)
+}
+
+// Note on slowdown: E[S] = 1 + E[W]*E[1/X] is +Inf for exponential service
+// (E[1/X] diverges at zero), so there is no finite M/M/1 slowdown oracle;
+// slowdown oracles use MG1 with a size distribution bounded away from
+// zero (see internal/simtest).

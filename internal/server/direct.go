@@ -327,13 +327,13 @@ func (d *directRunner) emitAll(n int) {
 			res.Slowdown.Add(resp / dj.size)
 			res.Response.Add(resp)
 			res.Wait.Add(wait)
-			if d.cold != nil {
-				d.cold(JobRecord{
-					ID: int(e), Host: int(w),
-					Arrival: dj.arr, Size: dj.size,
-					Start: dj.start, Departure: dj.finish,
-				})
-			}
+		}
+		if d.cold != nil {
+			d.cold(JobRecord{
+				ID: int(e), Host: int(w),
+				Arrival: dj.arr, Size: dj.size,
+				Start: dj.start, Departure: dj.finish,
+			})
 		}
 
 		// Advance the chain. A drained chain lands on the sentinel job,
@@ -400,12 +400,15 @@ func (d *directRunner) nodeLess(a, b int32) bool {
 }
 
 // DirectEligible reports whether Run would take the direct path for this
-// configuration: the policy claims obliviousness, no interrupt probe is
-// installed, and the path is globally enabled. Callers that install
-// per-request interrupt probes (internal/service) use this to skip the
-// probe when the run will be too fast to need one.
+// configuration: the policy claims obliviousness, no interrupt probe or
+// order check is installed, and the path is globally enabled. Callers
+// that install per-request interrupt probes (internal/service) use this
+// to skip the probe when the run will be too fast to need one.
+// cfg.OrderCheck asserts event-heap dispatch order, so it pins the run
+// to the engine — which also makes it the per-run engine-forcing knob
+// the property harness uses for heap-vs-direct comparisons.
 func DirectEligible(cfg Config) bool {
-	return cfg.Interrupt == nil && DirectEnabled() && IsOblivious(cfg.Policy)
+	return cfg.Interrupt == nil && !cfg.OrderCheck && DirectEnabled() && IsOblivious(cfg.Policy)
 }
 
 // RunDirect simulates the job list under an oblivious policy without the
@@ -432,10 +435,19 @@ func RunDirect(jobs []workload.Job, cfg Config) *Result {
 	d.setup(len(renumbered), cfg.Hosts, cfg.Policy)
 	d.res = res
 	d.warmup = warmup
-	if cfg.SizeClass != nil || cfg.KeepRecords {
+	if cfg.SizeClass != nil || cfg.KeepRecords || cfg.OnRecord != nil {
 		// Per-record extras run off the hot path, in the same emission
-		// order and after the same stream adds as Result.observe.
+		// order and after the same stream adds as Result.observe. The
+		// hook fires for every record (warmup included, matching
+		// Result.observe); the per-class and record-keeping extras apply
+		// only past the warmup prefix, exactly as on the engine path.
 		d.cold = func(rec JobRecord) {
+			if cfg.OnRecord != nil {
+				cfg.OnRecord(rec)
+			}
+			if rec.ID < warmup {
+				return
+			}
 			if res.Classes != nil {
 				res.Classes.Add(cfg.SizeClass(rec.Size), rec.Slowdown())
 			}

@@ -340,6 +340,9 @@ func RunPS(jobs []workload.Job, cfg Config) *Result {
 		eng.SetCancelCheck(cfg.interruptEvery(), cfg.Interrupt)
 	}
 	sys := newPSOn(eng, cfg.Hosts, cfg.Policy, func(rec JobRecord) {
+		if cfg.OnRecord != nil {
+			cfg.OnRecord(rec)
+		}
 		res.PerHostJobs[rec.Host]++
 		if rec.Departure > res.Horizon {
 			res.Horizon = rec.Departure

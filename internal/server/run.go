@@ -34,9 +34,26 @@ type Config struct {
 	// output byte-identical. The callback must be cheap and must not
 	// block (e.g. a non-blocking context poll).
 	Interrupt func() bool
+	// OnRecord, when non-nil, receives every completed job's record in
+	// emission order — warmup jobs included, unlike KeepRecords — on both
+	// simulation paths (event heap and direct recurrence), before the
+	// record is folded into the statistics. The correctness harness
+	// (internal/simtest) streams invariant checks through it without
+	// buffering the whole run; nil costs nothing. The callback must not
+	// mutate shared state used by the simulation and must not retain the
+	// record past the call if it holds references (it does not — records
+	// are plain values).
+	OnRecord func(JobRecord)
 	// InterruptEvery overrides the polling interval in events (<= 0 means
 	// the default). Ignored when Interrupt is nil.
 	InterruptEvery int
+	// OrderCheck arms the event kernel's dispatch-order assertion
+	// (sim.Engine.SetOrderCheck) for the run: the engine panics if it
+	// ever fires an event out of (time, seq) order. Only meaningful on
+	// the engine path — the direct recurrence has no event heap — and
+	// intended for the property harness (internal/simtest), not
+	// production sweeps.
+	OrderCheck bool
 }
 
 // defaultInterruptEvery balances deadline latency against probe overhead:
@@ -81,6 +98,15 @@ type Result struct {
 	// prefix of jobs that completed in time.
 	Interrupted bool
 
+	// MeanQueueLen is the time-averaged number of waiting jobs over the
+	// simulated horizon, accrued event by event by the FCFS engine path
+	// (System.MeanQueueLength) — an accounting of E[Q] that is
+	// independent of the per-job records, which is what makes Little's
+	// law (E[Q] = lambda * E[W]) a genuine cross-check of the event
+	// bookkeeping rather than an identity. Populated only by the engine
+	// FCFS path; 0 on the direct-recurrence and PS paths.
+	MeanQueueLen float64
+
 	// Classes holds per-class slowdown streams when Config.SizeClass is
 	// set.
 	Classes *stats.ClassTally
@@ -118,7 +144,9 @@ func validateConfig(cfg Config) {
 	if cfg.Hosts <= 0 {
 		panic(fmt.Sprintf("server: config needs hosts > 0, got %d", cfg.Hosts))
 	}
-	if cfg.WarmupFraction < 0 || cfg.WarmupFraction >= 1 {
+	// Affirmative form so NaN is rejected too (int(NaN * n) is not a
+	// warmup count).
+	if !(cfg.WarmupFraction >= 0 && cfg.WarmupFraction < 1) {
 		panic(fmt.Sprintf("server: warmup fraction %v outside [0, 1)", cfg.WarmupFraction))
 	}
 }
@@ -143,6 +171,9 @@ func newResult(cfg Config) *Result {
 // through this single function, in the same order, so the accumulated
 // streams are bit-identical by construction.
 func (res *Result) observe(rec JobRecord, warmup int, cfg *Config) {
+	if cfg.OnRecord != nil {
+		cfg.OnRecord(rec)
+	}
 	res.PerHostJobs[rec.Host]++
 	res.PerHostWork[rec.Host] += rec.Size
 	if rec.Departure > res.Horizon {
@@ -211,11 +242,15 @@ func runEngine(jobs []workload.Job, cfg Config) *Result {
 	if cfg.Interrupt != nil {
 		eng.SetCancelCheck(cfg.interruptEvery(), cfg.Interrupt)
 	}
+	if cfg.OrderCheck {
+		eng.SetOrderCheck(true)
+	}
 	sys := newSystemOn(eng, cfg.Hosts, cfg.Policy, cfg.CentralOrder, func(rec JobRecord) {
 		res.observe(rec, warmup, &cfg)
 	})
 	sys.Simulate(renumbered)
 	res.Interrupted = eng.Interrupted()
+	res.MeanQueueLen = sys.MeanQueueLength()
 	return res
 }
 

@@ -1,0 +1,65 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"sita/internal/service"
+)
+
+// Example shows the full simd client flow: stand the service up on its
+// HTTP handler, POST a simulation request to /v1/simulate, and decode
+// the JSON response. The simulation is deterministic — same policy,
+// profile, seed, and job count always produce the identical response —
+// which is why the output below is stable enough to assert on.
+func Example() {
+	srv := httptest.NewServer(service.New(service.Config{}).Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(map[string]any{
+		"policy": "lwl", // accepted aliases: "least-work-left"
+		"hosts":  2,
+		"load":   0.7,
+		"seed":   3,
+		"jobs":   2000, // cap the trace for a fast example run
+	})
+	resp, err := http.Post(srv.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Println("request failed:", err)
+		return
+	}
+	defer resp.Body.Close()
+
+	var out service.SimResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fmt.Println("decode failed:", err)
+		return
+	}
+	fmt.Println("status:", resp.StatusCode)
+	fmt.Println("policy:", out.Policy)
+	fmt.Println("hosts:", out.Hosts)
+	fmt.Println("jobs simulated:", out.Jobs)
+	fmt.Printf("mean slowdown: %.4f\n", out.MeanSlowdown)
+	fmt.Printf("mean response (s): %.2f\n", out.MeanResponse)
+
+	// A repeated identical request is served from the response cache.
+	resp2, err := http.Post(srv.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Println("request failed:", err)
+		return
+	}
+	defer resp2.Body.Close()
+	fmt.Println("second request X-Cache:", resp2.Header.Get("X-Cache"))
+
+	// Output:
+	// status: 200
+	// policy: Least-Work-Left
+	// hosts: 2
+	// jobs simulated: 2000
+	// mean slowdown: 1295.2640
+	// mean response (s): 200833.21
+	// second request X-Cache: hit
+}

@@ -1,0 +1,75 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"sita/internal/catalog"
+)
+
+// FuzzSimRequestDecode drives the exact decode path of POST /v1/simulate
+// — strict JSON (unknown fields rejected) into SimRequest, then
+// normalize — with arbitrary request bodies. Neither step may panic, and
+// every accepted request must come out inside the contract ranges with a
+// canonical policy name and a deterministic cache key; anything outside
+// the contract must be rejected, never silently clamped.
+func FuzzSimRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"policy":"lwl"}`))
+	f.Add([]byte(`{"policy":"RR","hosts":8,"load":0.9,"seed":7,"jobs":5000,"warmup":-1}`))
+	f.Add([]byte(`{"policy":"sita-e","profile":"psc-c90","bursty":true,"ps":true,"timeout_ms":50}`))
+	f.Add([]byte(`{"policy":"random","load":1.5}`))
+	f.Add([]byte(`{"policy":"random","warmup":1e308}`))
+	f.Add([]byte(`{"policy":"random","unknown_field":1}`))
+	f.Add([]byte(`{"policy":"random","hosts":-3}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"policy":"random","load":5e-324}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		const maxJobs = 60000
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		var req SimRequest
+		if err := dec.Decode(&req); err != nil {
+			return // malformed bodies are rejected before normalize
+		}
+		q, err := req.normalize(maxJobs)
+		if err != nil {
+			return // contract rejections are fine; panics are not
+		}
+		if c, cerr := catalog.CanonicalPolicy(q.Policy); cerr != nil || c != q.Policy {
+			t.Fatalf("accepted request has non-canonical policy %q (%v)", q.Policy, cerr)
+		}
+		if q.Hosts < 1 {
+			t.Fatalf("accepted hosts %d", q.Hosts)
+		}
+		if !(q.Load > 0 && q.Load < 1) {
+			t.Fatalf("accepted load %v", q.Load)
+		}
+		if !(q.Warmup >= 0 && q.Warmup < 1) {
+			t.Fatalf("accepted warmup %v", q.Warmup)
+		}
+		if q.Jobs < 0 || q.Jobs > maxJobs {
+			t.Fatalf("accepted jobs %d outside [0, %d]", q.Jobs, maxJobs)
+		}
+		if err := catalog.CheckProfile(q.Profile); err != nil {
+			t.Fatalf("accepted profile %q: %v", q.Profile, err)
+		}
+		if q.Seed == 0 {
+			t.Fatal("accepted request kept seed 0 instead of the default")
+		}
+		if q.TimeoutMS < 0 {
+			t.Fatalf("accepted timeout_ms %d", q.TimeoutMS)
+		}
+		// Normalization and the cache key are deterministic: the same raw
+		// request must always land on the same cache entry.
+		q2, err2 := req.normalize(maxJobs)
+		if err2 != nil || q2 != q {
+			t.Fatalf("normalize not deterministic: %+v vs %+v (%v)", q, q2, err2)
+		}
+		if q.cacheKey() != q2.cacheKey() || q.cacheKey() == "" {
+			t.Fatalf("cache key not deterministic: %q vs %q", q.cacheKey(), q2.cacheKey())
+		}
+	})
+}

@@ -23,6 +23,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
@@ -126,6 +127,17 @@ type Engine struct {
 	checkCount  uint64
 	checkFn     func() bool
 	interrupted bool
+
+	// Dispatch-order verification (SetOrderCheck): when enabled, fire
+	// asserts that events leave the heap in nondecreasing (time, seq)
+	// order — the kernel's core determinism invariant. Off by default
+	// (one predictable branch per event); the property harness
+	// (internal/simtest) turns it on so any future heap regression fails
+	// loudly inside the run that triggers it instead of surfacing as a
+	// silently reordered record stream.
+	orderCheck bool
+	lastAt     float64
+	lastSeq    uint64
 }
 
 // Now reports the current virtual time.
@@ -323,6 +335,21 @@ func (e *Engine) SetCancelCheck(every int, fn func() bool) {
 // horizon, or Stop).
 func (e *Engine) Interrupted() bool { return e.interrupted }
 
+// SetOrderCheck toggles dispatch-order verification: with the check on,
+// every fired event must carry a (time, seq) pair no smaller — in
+// lexicographic order — than the previously fired one, and a violation
+// panics. This is the kernel invariant that makes simulations
+// deterministic and record streams reproducible; the check exists so
+// property tests (internal/simtest) can run entire simulations with the
+// invariant armed. Off by default; cleared by Reset (and therefore
+// Acquire), like the cancel probe, so pooled engines never carry it into
+// batch paths.
+func (e *Engine) SetOrderCheck(on bool) {
+	e.orderCheck = on
+	e.lastAt = math.Inf(-1)
+	e.lastSeq = 0
+}
+
 // Run executes events in time order until the queue drains or Stop is
 // called.
 //
@@ -379,7 +406,9 @@ func (e *Engine) Step() bool {
 // fire dispatches one popped heap entry, reporting whether it was live.
 // The slot is freed before dispatch so the callback can schedule new
 // events into the just-vacated slot (the generation bump keeps stale
-// handles inert).
+// handles inert). Panics if the order check (SetOrderCheck) is armed and
+// the entry is out of (time, seq) dispatch order — that is the check's
+// entire job.
 func (e *Engine) fire(top entry) bool {
 	s := &e.slots[top.id]
 	if s.canceled {
@@ -389,6 +418,14 @@ func (e *Engine) fire(top entry) bool {
 	ev, fn := s.ev, s.fn
 	e.freeSlot(top.id)
 	e.live--
+	if e.orderCheck {
+		//lint:allow floateq exact dispatch-order assertion: equal times fall through to the seq tie-break
+		if top.at < e.lastAt || (top.at == e.lastAt && top.seq <= e.lastSeq) {
+			panic(fmt.Sprintf("sim: dispatch order violated: event (t=%v, seq=%d) after (t=%v, seq=%d)",
+				top.at, top.seq, e.lastAt, e.lastSeq))
+		}
+		e.lastAt, e.lastSeq = top.at, top.seq
+	}
 	e.now = top.at
 	e.fired++
 	if fn != nil {
@@ -419,6 +456,7 @@ func (e *Engine) Reset() {
 	e.checkCount = 0
 	e.checkFn = nil
 	e.interrupted = false
+	e.orderCheck = false
 }
 
 // enginePool recycles engines across simulation cells: a sweep's worker

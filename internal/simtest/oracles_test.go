@@ -1,0 +1,130 @@
+package simtest
+
+import (
+	"testing"
+
+	"sita/internal/dist"
+	"sita/internal/policy"
+	"sita/internal/queueing"
+	"sita/internal/server"
+	"sita/internal/sim"
+	"sita/internal/stats"
+	"sita/internal/workload"
+)
+
+// replicate runs reps independent simulations (fresh trace and fresh
+// policy each) and returns the stream of per-replication values of f.
+func replicate(reps int, gen func(rep uint64) []workload.Job, build func() server.Policy,
+	order server.CentralOrder, hosts int, f func(*server.Result) float64) stats.Stream {
+	var s stats.Stream
+	for rep := 0; rep < reps; rep++ {
+		jobs := gen(uint64(rep))
+		res := server.Run(jobs, server.Config{
+			Hosts:          hosts,
+			Policy:         build(),
+			CentralOrder:   order,
+			WarmupFraction: 0.2,
+		})
+		s.Add(f(res))
+	}
+	return s
+}
+
+// checkOracle asserts that the replicated estimate agrees with the
+// analytic value within max(5 standard errors, relTol relative): the
+// stderr term absorbs replication noise, the relative floor absorbs the
+// small finite-horizon bias a transient-start simulation always carries.
+func checkOracle(t *testing.T, name string, got stats.Stream, want, relTol float64) {
+	t.Helper()
+	diff := got.Mean() - want
+	if diff < 0 {
+		diff = -diff
+	}
+	tol := 5 * got.StdErr()
+	if relTol*want > tol {
+		tol = relTol * want
+	}
+	if diff > tol {
+		t.Errorf("%s: simulated %v +/- %v over %d reps, analytic %v (|diff| %v > tol %v)",
+			name, got.Mean(), got.StdErr(), got.Count(), want, diff, tol)
+	} else {
+		t.Logf("%s: simulated %v +/- %v, analytic %v (diff %.3g, tol %.3g)",
+			name, got.Mean(), got.StdErr(), want, diff, tol)
+	}
+}
+
+// TestRandomPolicyMatchesMM1 pins the simulated Random system on an
+// exponential synthetic trace to its exact analysis: Bernoulli splitting
+// of a Poisson stream leaves each host an independent M/M/1 at rate
+// lambda/h, so mean wait and mean response must match the closed forms.
+func TestRandomPolicyMatchesMM1(t *testing.T) {
+	const (
+		hosts    = 2
+		meanSize = 2.0
+	)
+	reps, n := scaled(12, 48), scaled(30000, 200000)
+	for _, load := range []float64{0.5, 0.7} {
+		lambda := workload.RateForLoad(load, meanSize, hosts)
+		oracle := queueing.NewMM1(lambda/hosts, meanSize)
+		gen := func(rep uint64) []workload.Job {
+			return GenExpJobs(1000+rep, n, load, meanSize, hosts)
+		}
+		build := func() server.Policy { return policy.NewRandom(sim.NewRNG(31, 7)) }
+		wait := replicate(reps, gen, build, server.CentralFCFS, hosts,
+			func(r *server.Result) float64 { return r.Wait.Mean() })
+		checkOracle(t, "random/wait", wait, oracle.MeanWait(), 0.02)
+		resp := replicate(reps, gen, build, server.CentralFCFS, hosts,
+			func(r *server.Result) float64 { return r.Response.Mean() })
+		checkOracle(t, "random/response", resp, oracle.MeanResponse(), 0.02)
+	}
+}
+
+// TestCentralQueueMatchesMMh pins the simulated Central-Queue system on
+// an exponential synthetic trace to the M/M/h (Erlang-C) closed forms:
+// one shared FCFS queue feeding h exponential servers is exactly that
+// model.
+func TestCentralQueueMatchesMMh(t *testing.T) {
+	const (
+		hosts    = 4
+		meanSize = 2.0
+	)
+	reps, n := scaled(12, 48), scaled(30000, 200000)
+	for _, load := range []float64{0.7, 0.9} {
+		lambda := workload.RateForLoad(load, meanSize, hosts)
+		oracle := queueing.NewMMh(lambda, meanSize, hosts)
+		gen := func(rep uint64) []workload.Job {
+			return GenExpJobs(2000+rep, n, load, meanSize, hosts)
+		}
+		build := func() server.Policy { return policy.NewCentralQueue() }
+		wait := replicate(reps, gen, build, server.CentralFCFS, hosts,
+			func(r *server.Result) float64 { return r.Wait.Mean() })
+		checkOracle(t, "central/wait", wait, oracle.MeanWait(), 0.03)
+		resp := replicate(reps, gen, build, server.CentralFCFS, hosts,
+			func(r *server.Result) float64 { return r.Response.Mean() })
+		checkOracle(t, "central/response", resp, oracle.MeanWait()+meanSize, 0.02)
+	}
+}
+
+// TestRandomPolicySlowdownMatchesMG1 pins mean slowdown — the paper's
+// headline metric — to the Pollaczek-Khinchine form E[S] = 1 +
+// E[W]*E[1/X]. Exponential sizes have divergent E[1/X], so this oracle
+// uses Uniform(0.5, 1.5) sizes, bounded away from zero, under Random
+// splitting: each host is an independent M/G/1 at rate lambda/h.
+func TestRandomPolicySlowdownMatchesMG1(t *testing.T) {
+	const hosts = 2
+	sizes := dist.NewUniform(0.5, 1.5)
+	reps, n := scaled(12, 48), scaled(30000, 200000)
+	load := 0.7
+	lambda := workload.RateForLoad(load, sizes.Moment(1), hosts)
+	oracle := queueing.NewMG1(lambda/hosts, sizes)
+	gen := func(rep uint64) []workload.Job {
+		return GenPoissonJobs(3000+rep, n, load, hosts, sizes)
+	}
+	build := func() server.Policy { return policy.NewRandom(sim.NewRNG(67, 13)) }
+	slow := replicate(reps, gen, build, server.CentralFCFS, hosts,
+		func(r *server.Result) float64 { return r.Slowdown.Mean() })
+	checkOracle(t, "random/slowdown", slow, oracle.MeanSlowdown(), 0.02)
+	wait := replicate(reps, gen, build, server.CentralFCFS, hosts,
+		func(r *server.Result) float64 { return r.Wait.Mean() })
+	checkOracle(t, "random/mg1-wait", wait, oracle.MeanWait(), 0.02)
+}

@@ -1,0 +1,125 @@
+package simtest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sita/internal/policy"
+	"sita/internal/server"
+	"sita/internal/workload"
+)
+
+// bigPairProp fails whenever a trace contains at least two jobs larger
+// than 10 — a synthetic seeded failure whose unique minimal form is
+// exactly two big jobs.
+func bigPairProp(jobs []workload.Job) error {
+	big := 0
+	for _, j := range jobs {
+		if j.Size > 10 {
+			big++
+		}
+	}
+	if big >= 2 {
+		return fmt.Errorf("%d jobs larger than 10", big)
+	}
+	return nil
+}
+
+// TestShrinkMinimizesSeededFailure seeds a 500-job trace with scattered
+// oversized jobs and checks the shrinker reduces it to the 2-job
+// minimal counterexample, that the result is 1-minimal (deleting any
+// remaining job makes the property pass), and that the whole process is
+// deterministic.
+func TestShrinkMinimizesSeededFailure(t *testing.T) {
+	jobs := GenAdversarialJobs(42, 500)
+	// GenAdversarialJobs produces elephants (>10) with probability 1/5,
+	// so the trace fails bigPairProp by a wide margin.
+	if err := bigPairProp(jobs); err == nil {
+		t.Fatal("seeded trace unexpectedly passes the property")
+	}
+	min, minErr := Shrink(jobs, bigPairProp, 10000)
+	if minErr == nil {
+		t.Fatal("shrunk trace no longer fails the property")
+	}
+	if len(min) != 2 {
+		t.Fatalf("shrunk to %d jobs, want the 2-job minimal counterexample:\n%s", len(min), FormatJobs(min))
+	}
+	for i := range min {
+		without := append(append([]workload.Job(nil), min[:i]...), min[i+1:]...)
+		if err := bigPairProp(without); err != nil {
+			t.Fatalf("not 1-minimal: still fails without job %d: %v", i, err)
+		}
+	}
+	again, _ := Shrink(jobs, bigPairProp, 10000)
+	if len(again) != len(min) {
+		t.Fatalf("nondeterministic shrink: %d vs %d jobs", len(again), len(min))
+	}
+	for i := range min {
+		if again[i] != min[i] {
+			t.Fatalf("nondeterministic shrink at job %d: %+v vs %+v", i, again[i], min[i])
+		}
+	}
+}
+
+// TestShrinkMinimizesSimulationFailure exercises the shrinker against a
+// property that runs the real simulator: "no job ever waits" under
+// round-robin on 2 hosts. A loaded trace falsifies it massively; the
+// minimal counterexample is a contention pair — 3 jobs, since
+// round-robin on 2 hosts needs jobs 1 and 3 on one host with job 3
+// arriving before job 1 finishes (2 jobs alone land on distinct hosts).
+func TestShrinkMinimizesSimulationFailure(t *testing.T) {
+	const hosts = 2
+	prop := func(jobs []workload.Job) error {
+		var bad error
+		cfg := server.Config{
+			Hosts:  hosts,
+			Policy: policy.NewRoundRobin(),
+			OnRecord: func(rec server.JobRecord) {
+				if bad == nil && rec.Wait() > 0 {
+					bad = fmt.Errorf("job %d waited %v", rec.ID, rec.Wait())
+				}
+			},
+		}
+		server.Run(jobs, cfg)
+		return bad
+	}
+	jobs := GenExpJobs(7, 2000, 0.9, 2.0, hosts)
+	if err := prop(jobs); err == nil {
+		t.Fatal("loaded trace has no waiting job")
+	}
+	min, minErr := Shrink(jobs, prop, 20000)
+	if minErr == nil {
+		t.Fatal("shrunk trace no longer fails")
+	}
+	if len(min) != 3 {
+		t.Fatalf("shrunk to %d jobs, want 3:\n%s", len(min), FormatJobs(min))
+	}
+	for i := range min {
+		without := append(append([]workload.Job(nil), min[:i]...), min[i+1:]...)
+		if err := prop(without); err != nil {
+			t.Fatalf("not 1-minimal: still fails without job %d: %v", i, err)
+		}
+	}
+}
+
+// TestShrinkPassingTrace checks the degenerate contracts: a passing
+// trace returns (nil, nil), and an exhausted budget still returns a
+// failing trace.
+func TestShrinkPassingTrace(t *testing.T) {
+	jobs := GenExpJobs(9, 50, 0.3, 2.0, 2)
+	min, err := Shrink(jobs, func([]workload.Job) error { return nil }, 100)
+	if min != nil || err != nil {
+		t.Fatalf("passing trace shrunk to %d jobs, err %v", len(min), err)
+	}
+	fail := errors.New("always")
+	min, err = Shrink(jobs, func(j []workload.Job) error {
+		if len(j) == 0 {
+			return nil // empty passes, so minimum is 1 job
+		}
+		return fail
+	}, 3) // budget too small to reach the minimum
+	if err == nil || len(min) == 0 {
+		t.Fatalf("budget-limited shrink returned %d jobs, err %v", len(min), err)
+	}
+}

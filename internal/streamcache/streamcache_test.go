@@ -258,3 +258,48 @@ func TestConcurrentFanOut(t *testing.T) {
 			st.Generations, len(loads), st)
 	}
 }
+
+// TestExactByteBudgetBoundary pins the byte-accounting at the exact
+// budget edge: an entry that fills the bound to the last byte is stored
+// without evicting, the next insert evicts the LRU entry (not the new
+// one), and an entry one job over the whole bound is served but never
+// stored.
+func TestExactByteBudgetBoundary(t *testing.T) {
+	const n = 1000
+	tr := testTrace(t, n)
+	c := New(int64(n) * bytesPerJob) // budget == exactly one stream
+
+	a := c.JobsAtLoad(tr, 0.3, 2, true, 1)
+	if len(a) != n {
+		t.Fatalf("stream has %d jobs, want %d", len(a), n)
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != st.MaxBytes || st.Evictions != 0 {
+		t.Fatalf("exact-fit entry: %+v, want 1 entry filling the bound with no eviction", st)
+	}
+
+	// Second exact-fit stream: the budget forces the older one out, and
+	// the newcomer must be the survivor.
+	b := c.JobsAtLoad(tr, 0.5, 2, true, 1)
+	st = c.Stats()
+	if st.Entries != 1 || st.Bytes != st.MaxBytes || st.Evictions != 1 {
+		t.Fatalf("after second exact-fit insert: %+v, want 1 entry, 1 eviction", st)
+	}
+	if b2 := c.JobsAtLoad(tr, 0.5, 2, true, 1); &b2[0] != &b[0] {
+		t.Fatal("newest entry was evicted instead of the LRU one")
+	}
+	if st = c.Stats(); st.Hits != 1 {
+		t.Fatalf("survivor lookup was not a hit: %+v", st)
+	}
+
+	// One job over the whole bound: served, never stored, nothing evicted.
+	over := testTrace(t, n+1)
+	before := c.Stats()
+	if got := c.JobsAtLoad(over, 0.5, 2, true, 1); len(got) != n+1 {
+		t.Fatalf("oversized stream has %d jobs, want %d", len(got), n+1)
+	}
+	st = c.Stats()
+	if st.Entries != before.Entries || st.Bytes != before.Bytes || st.Evictions != before.Evictions {
+		t.Fatalf("oversized entry disturbed the cache: %+v -> %+v", before, st)
+	}
+}
